@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benches share one pool of task sets, generated once per session
+with the paper's protocol.  Scale knobs (all optional, via environment):
+
+* ``REPRO_BENCH_SETS``    -- task sets per 0.1-utilization bin (default 5;
+  the paper uses 20 -- set it for a full-fidelity run).
+* ``REPRO_BENCH_HORIZON`` -- simulation horizon cap in ms (default 1000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workload.generator import generate_binned_tasksets
+
+#: The paper's x-axis: 0.1-wide (m,k)-utilization bins.
+BINS = tuple((round(i / 10, 1), round((i + 1) / 10, 1)) for i in range(1, 10))
+
+SETS_PER_BIN = int(os.environ.get("REPRO_BENCH_SETS", "5"))
+HORIZON_UNITS = int(os.environ.get("REPRO_BENCH_HORIZON", "1000"))
+SEED = 20200309
+
+
+@pytest.fixture(scope="session")
+def bench_tasksets():
+    """One shared pool of schedulable task sets for every figure panel."""
+    return generate_binned_tasksets(
+        list(BINS), sets_per_bin=SETS_PER_BIN, seed=SEED
+    )
+
+
+def panel_kwargs(bench_tasksets):
+    """Common keyword arguments for one Figure 6 panel."""
+    return dict(
+        bins=list(BINS),
+        tasksets_by_bin=bench_tasksets,
+        horizon_cap_units=HORIZON_UNITS,
+        sets_per_bin=SETS_PER_BIN,
+    )
+
+
+def record_sweep(benchmark, sweep):
+    """Attach a sweep's headline numbers to the benchmark record."""
+    for scheme in sweep.schemes:
+        if scheme != sweep.reference_scheme:
+            benchmark.extra_info[f"max_reduction_{scheme}_vs_ST"] = round(
+                sweep.max_reduction(scheme, sweep.reference_scheme), 4
+            )
+    if "MKSS_DP" in sweep.schemes and "MKSS_Selective" in sweep.schemes:
+        benchmark.extra_info["max_reduction_Selective_vs_DP"] = round(
+            sweep.max_reduction("MKSS_Selective", "MKSS_DP"), 4
+        )
+    benchmark.extra_info["bins"] = len(sweep.bins)

@@ -1,0 +1,69 @@
+"""Ablation bench: static pattern choice (deeply-red vs even vs rotated).
+
+The paper fixes the deeply-red R-pattern (its Theorem 1 leans on the
+deeply-red critical instant).  This bench quantifies what that choice
+costs/buys on the admission side: the fraction of raw random draws whose
+mandatory workload is schedulable under
+
+* the deeply-red R-pattern (the paper),
+* the evenly-spread E-pattern (Ramanathan),
+* per-task rotations optimized by coordinate descent (Quan & Hu's lever).
+
+Rotations strictly dominate plain deeply-red on admissions (the search
+starts there), which is exactly why the enhanced analyses exist.
+"""
+
+from __future__ import annotations
+
+from conftest import HORIZON_UNITS
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.rotation import optimize_rotations, schedulability_margin
+from repro.model.patterns import EPattern, RPattern
+from repro.workload.generator import GeneratorConfig, TaskSetGenerator
+
+
+def _admission_counts(target_utilization, draws, seed):
+    config = GeneratorConfig(require_schedulable=False)
+    generator = TaskSetGenerator(config, seed=seed)
+    counts = {"deeply_red": 0, "even": 0, "rotated": 0, "total": 0}
+    produced = 0
+    while produced < draws:
+        taskset = generator.draw_raw(target_utilization)
+        if taskset is None:
+            continue
+        produced += 1
+        counts["total"] += 1
+        base = taskset.timebase()
+        horizon = analysis_horizon(taskset, base, HORIZON_UNITS)
+        red = [RPattern(t.mk) for t in taskset]
+        even = [EPattern(t.mk) for t in taskset]
+        red_ok = schedulability_margin(taskset, red, base, horizon) >= 0
+        if red_ok:
+            counts["deeply_red"] += 1
+        if schedulability_margin(taskset, even, base, horizon) >= 0:
+            counts["even"] += 1
+        if red_ok:
+            counts["rotated"] += 1  # search starts at deeply-red
+        else:
+            _, patterns = optimize_rotations(
+                taskset, base, horizon_ticks=horizon, max_rounds=2
+            )
+            if schedulability_margin(taskset, patterns, base, horizon) >= 0:
+                counts["rotated"] += 1
+    return counts
+
+
+def test_pattern_admission_rates(benchmark):
+    counts = benchmark.pedantic(
+        lambda: _admission_counts(0.6, draws=30, seed=1717),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("admission at (m,k)-utilization 0.6 over", counts["total"], "draws:")
+    for key in ("deeply_red", "even", "rotated"):
+        rate = counts[key] / counts["total"]
+        print(f"  {key:10s} {counts[key]:3d}  ({rate:.0%})")
+        benchmark.extra_info[key] = counts[key]
+    assert counts["rotated"] >= counts["deeply_red"]

@@ -1,0 +1,91 @@
+"""Extension bench: does DVS still pay once DPD is in place?
+
+Begam et al. [8] combine preference-oriented scheduling with DVS; the
+paper under reproduction drops DVS, arguing leakage makes it
+counterproductive.  This bench measures MKSS_DP at full speed vs the
+maximal uniform slowdown (clamped to the critical speed) across leakage
+levels, on the shared task-set pool.
+
+Expected shape: with negligible static power DVS saves substantially;
+around static power ~0.3 (critical speed ~0.53) the gain shrinks; with
+heavy leakage the full-speed + DPD configuration wins -- the paper's
+position.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import HORIZON_UNITS, SEED
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.energy.dvs import DVSModel
+from repro.energy.dvs_scheduling import (
+    clamp_to_critical_speed,
+    dvs_energy_of,
+    max_uniform_slowdown,
+    slowed_taskset,
+)
+from repro.harness.report import format_table
+from repro.schedulers import MKSSDualPriority
+from repro.schedulers.base import run_policy
+
+BIN = (0.4, 0.5)
+LEAKAGE_LEVELS = (0.0, 0.1, 0.3, 0.7)
+
+
+def _energy(taskset, speeds, model):
+    base = taskset.timebase()
+    horizon = analysis_horizon(taskset, base, HORIZON_UNITS)
+    result = run_policy(taskset, MKSSDualPriority(), horizon, base)
+    return dvs_energy_of(result.trace, base, horizon, speeds, model)
+
+
+def _series(bench_tasksets):
+    rows = []
+    pool = bench_tasksets[BIN]
+    for static_power in LEAKAGE_LEVELS:
+        model = DVSModel(alpha=3.0, static_power=static_power, min_speed=0.05)
+        full_total = 0.0
+        dvs_total = 0.0
+        for taskset in pool:
+            n = len(taskset)
+            full_total += _energy(taskset, [1.0] * n, model)
+            slowdown = clamp_to_critical_speed(
+                max_uniform_slowdown(
+                    taskset, precision=Fraction(1, 16),
+                    horizon_cap_units=HORIZON_UNITS,
+                ),
+                model,
+            )
+            slowed = slowed_taskset(taskset, slowdown)
+            speed = float(1 / slowdown)
+            dvs_total += _energy(slowed, [speed] * n, model)
+        rows.append((static_power, full_total, dvs_total))
+    return rows
+
+
+def test_dvs_vs_dpd_across_leakage(benchmark, bench_tasksets):
+    rows = benchmark.pedantic(
+        lambda: _series(bench_tasksets), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["static power", "full speed + DPD", "uniform DVS", "DVS gain"],
+            [
+                [
+                    f"{p:.1f}",
+                    f"{full:.1f}",
+                    f"{dvs:.1f}",
+                    f"{1 - dvs / full:+.1%}",
+                ]
+                for p, full, dvs in rows
+            ],
+        )
+    )
+    gains = [1 - dvs / full for _, full, dvs in rows]
+    # DVS gain shrinks monotonically (within noise) as leakage grows.
+    assert gains[0] > gains[-1]
+    benchmark.extra_info["gain_no_leakage"] = round(gains[0], 4)
+    benchmark.extra_info["gain_heavy_leakage"] = round(gains[-1], 4)

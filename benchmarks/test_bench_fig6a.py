@@ -1,0 +1,32 @@
+"""Figure 6(a): energy comparison, no faults.
+
+Regenerates the paper's first evaluation panel: normalized energy of
+MKSS_ST / MKSS_DP / MKSS_Selective across (m,k)-utilization bins with no
+faults injected.  The printed table is the figure's data; the benchmark
+time is the cost of the whole sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import panel_kwargs, record_sweep
+
+from repro.harness.figures import fig6a
+from repro.harness.report import format_series_table
+
+
+def test_fig6a_no_fault_panel(benchmark, bench_tasksets):
+    sweep = benchmark.pedantic(
+        lambda: fig6a(**panel_kwargs(bench_tasksets)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series_table(sweep, "Figure 6(a): no fault"))
+    record_sweep(benchmark, sweep)
+
+    # Shape assertions (the paper's qualitative claims).
+    for bucket in sweep.bins:
+        assert bucket.normalized_energy["MKSS_DP"] < 1.0
+        assert bucket.normalized_energy["MKSS_Selective"] < 1.0
+        assert all(v == 0 for v in bucket.mk_violation_count.values())
+    assert sweep.max_reduction("MKSS_Selective", "MKSS_DP") > 0.05

@@ -1,0 +1,32 @@
+"""Figure 6(b): energy comparison under one permanent fault.
+
+Each task set gets a reproducible random permanent fault (uniform instant,
+random processor); the same draw is shared by all three schemes so the
+comparison is paired, as in the paper's second experiment.
+"""
+
+from __future__ import annotations
+
+from conftest import panel_kwargs, record_sweep
+
+from repro.harness.figures import fig6b
+from repro.harness.report import format_series_table
+
+
+def test_fig6b_permanent_fault_panel(benchmark, bench_tasksets):
+    sweep = benchmark.pedantic(
+        lambda: fig6b(**panel_kwargs(bench_tasksets)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_series_table(sweep, "Figure 6(b): permanent fault"))
+    record_sweep(benchmark, sweep)
+
+    for bucket in sweep.bins:
+        assert bucket.normalized_energy["MKSS_DP"] < 1.0
+        assert bucket.normalized_energy["MKSS_Selective"] < 1.0
+        # The standby-sparing guarantee: one permanent fault never breaks
+        # the (m,k)-constraints for any scheme.
+        assert all(v == 0 for v in bucket.mk_violation_count.values())
+    assert sweep.max_reduction("MKSS_Selective", "MKSS_DP") > 0.0

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the package's computational kernels.
+
+Not a paper artifact -- these measure the substrate itself (engine event
+throughput, offline analyses, flexibility-degree updates) so regressions
+in the simulator show up independently of the figure sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.postponement import task_postponement_intervals
+from repro.analysis.rta import response_times
+from repro.analysis.schedulability import is_rpattern_schedulable
+from repro.model.history import MKHistory
+from repro.model.mk import MKConstraint
+from repro.schedulers import MKSSSelective
+from repro.schedulers.base import run_policy
+from repro.workload.generator import TaskSetGenerator
+
+
+def _workload(seed=4242, target=0.5):
+    return TaskSetGenerator(seed=seed).generate(target)
+
+
+def test_engine_throughput_long_horizon(benchmark):
+    """Simulate ~2000ms of a 5-10 task set with the selective scheme."""
+    taskset = _workload()
+    base = taskset.timebase()
+    horizon = 2000 * base.ticks_per_unit
+
+    def run():
+        return run_policy(taskset, MKSSSelective(), horizon, base)
+
+    result = benchmark(run)
+    benchmark.extra_info["released_jobs"] = result.released_jobs
+    assert result.all_mk_satisfied()
+
+
+def test_rta_all_tasks(benchmark):
+    taskset = _workload(seed=99, target=0.4)
+    values = benchmark(lambda: response_times(taskset))
+    assert len(values) == len(taskset)
+
+
+def test_postponement_analysis(benchmark):
+    taskset = _workload(seed=7, target=0.4)
+    base = taskset.timebase()
+    horizon = 2000 * base.ticks_per_unit
+    result = benchmark(
+        lambda: task_postponement_intervals(
+            taskset, base, horizon_ticks=horizon
+        )
+    )
+    assert len(result.thetas) == len(taskset)
+
+
+def test_schedulability_admission(benchmark):
+    taskset = _workload(seed=13, target=0.6)
+    ok = benchmark(lambda: is_rpattern_schedulable(taskset))
+    assert ok
+
+
+def test_flexibility_degree_updates(benchmark):
+    """One million FD queries+updates on a (5,9) history."""
+    def run():
+        history = MKHistory(MKConstraint(5, 9))
+        total = 0
+        for step in range(100_000):
+            fd = history.flexibility_degree()
+            total += fd
+            history.record(fd == 1)
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_workload_generation(benchmark):
+    generator = TaskSetGenerator(seed=31)
+    taskset = benchmark(lambda: generator.generate(0.5))
+    assert 5 <= len(taskset) <= 10

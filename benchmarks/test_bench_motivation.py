@@ -1,0 +1,77 @@
+"""Benchmarks for the motivating examples (Figures 1-5).
+
+These pin the paper's exact numbers *and* measure how fast the simulator
+reproduces them -- the per-run times here are the package's end-to-end
+latency on tiny task sets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.postponement import task_postponement_intervals
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.schedulers import (
+    MKSSDualPriority,
+    MKSSGreedy,
+    MKSSSelective,
+    MKSSStatic,
+)
+from repro.schedulers.base import run_policy
+from repro.workload.presets import fig1_taskset, fig3_taskset, fig5_taskset
+
+
+def _active_energy(taskset, policy_factory, horizon_units, window_units=None):
+    base = taskset.timebase()
+    horizon = horizon_units * base.ticks_per_unit
+    result = run_policy(taskset, policy_factory(), horizon, base)
+    window = (window_units or horizon_units) * base.ticks_per_unit
+    report = energy_of(result.trace, base, window, PowerModel.active_only())
+    return report.active_units
+
+
+def test_fig1_dual_priority_energy(benchmark):
+    energy = benchmark(
+        lambda: _active_energy(fig1_taskset(), MKSSDualPriority, 20)
+    )
+    assert energy == 15
+    benchmark.extra_info["paper_energy"] = 15
+
+
+def test_fig2_dynamic_pattern_energy(benchmark):
+    energy = benchmark(
+        lambda: _active_energy(
+            fig1_taskset(), lambda: MKSSSelective(alternate=False), 20
+        )
+    )
+    assert energy == 12
+    benchmark.extra_info["paper_energy"] = 12
+
+
+def test_fig3_greedy_energy(benchmark):
+    energy = benchmark(
+        lambda: _active_energy(fig3_taskset(), MKSSGreedy, 25, 24)
+    )
+    assert energy == 20
+    benchmark.extra_info["paper_energy"] = 20
+
+
+def test_fig4_selective_energy(benchmark):
+    energy = benchmark(
+        lambda: _active_energy(fig3_taskset(), MKSSSelective, 25)
+    )
+    assert energy == 14
+    benchmark.extra_info["paper_energy"] = 14
+
+
+def test_fig5_postponement_analysis(benchmark):
+    thetas = benchmark(
+        lambda: task_postponement_intervals(fig5_taskset()).thetas
+    )
+    assert thetas == [7, 4]
+    benchmark.extra_info["paper_thetas"] = "[7, 4]"
+
+
+def test_fig1_static_reference_energy(benchmark):
+    energy = benchmark(lambda: _active_energy(fig1_taskset(), MKSSStatic, 20))
+    assert energy == 18
+    benchmark.extra_info["note"] = "2x mandatory workload (reference)"

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fault-tolerance demo: permanent takeover and transient recovery.
+
+Shows the standby-sparing machinery at work on a multimedia-style
+workload:
+
+1. fault-free run of MKSS_Selective;
+2. a permanent fault kills the primary mid-run -- the spare takes over
+   and every (m,k)-constraint still holds;
+3. transient faults are injected at an exaggerated rate -- faulted main
+   jobs are saved by their backups, faulted optional jobs simply lose
+   their slot, and QoS stays within the (m,k) bounds.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FaultScenario,
+    MKSSSelective,
+    PowerModel,
+    Task,
+    TaskSet,
+    collect_metrics,
+    energy_of,
+    run_policy,
+)
+from repro.faults.transient import PoissonTransientFaults
+from repro.sim.engine import PRIMARY, StandbySparingEngine
+
+
+def workload() -> TaskSet:
+    """An MPEG-ish soft real-time set: decode, render, audio, network."""
+    return TaskSet(
+        [
+            Task(10, 10, 2, 3, 5, name="audio"),
+            Task(15, 15, 4, 2, 4, name="decode"),
+            Task(30, 30, 5, 1, 3, name="render"),
+            Task(60, 60, 6, 1, 6, name="network"),
+        ]
+    )
+
+
+def report(label, result, base, horizon):
+    metrics = collect_metrics(result)
+    energy = energy_of(
+        result.trace, base, horizon, PowerModel.paper_default(),
+        result.permanent_fault,
+    )
+    print(f"--- {label} ---")
+    print(
+        f"  energy {energy.total_energy:8.2f} | released {metrics.released}"
+        f" | effective {metrics.effective} | missed {metrics.missed}"
+        f" | transient faults {metrics.transient_faults}"
+    )
+    print(
+        f"  (m,k) violations: {metrics.mk_violations}"
+        f" | mandatory ratio {metrics.mandatory_ratio:.2f}"
+    )
+    print()
+
+
+def main() -> None:
+    taskset = workload()
+    base = taskset.timebase()
+    horizon = 600 * base.ticks_per_unit
+
+    # 1. fault-free
+    result = run_policy(taskset, MKSSSelective(), horizon, base)
+    report("fault-free", result, base, horizon)
+
+    # 2. permanent fault on the primary at t = 200 ms
+    scenario = FaultScenario.permanent_only(
+        processor=PRIMARY, tick=200 * base.ticks_per_unit
+    )
+    result = run_policy(taskset, MKSSSelective(), horizon, base, scenario)
+    report("permanent fault at 200ms (primary dies)", result, base, horizon)
+    print(
+        "  primary busy after fault:",
+        sum(
+            s.length
+            for s in result.trace.segments_on(PRIMARY)
+            if s.start >= 200 * base.ticks_per_unit
+        ),
+        "(must be 0)\n",
+    )
+
+    # 3. heavy transient faults (vastly above the paper's 1e-6/ms rate,
+    #    so their handling is actually visible in a short demo)
+    engine = StandbySparingEngine(
+        taskset,
+        MKSSSelective(),
+        horizon,
+        timebase=base,
+        transient_fault_fn=PoissonTransientFaults(5e-2, base, seed=7),
+    )
+    result = engine.run()
+    report("transient faults at rate 5e-2/ms", result, base, horizon)
+    print(
+        "note: at this exaggerated rate some jobs suffer *double* faults\n"
+        "(main and backup both corrupted), which is outside the\n"
+        "standby-sparing single-fault guarantee -- any (m,k) violations\n"
+        "above come from those. At the paper's 1e-6/ms rate they never\n"
+        "occur; see tests/integration/test_fault_tolerance.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Extension demo: pattern rotation rescues unschedulable task sets.
+
+The deeply-red R-pattern (the paper's choice) front-loads every task's
+mandatory jobs, so under synchronous release all mandatory bursts collide
+-- which is exactly the worst case Theorem 1 leans on, and also why the
+R-pattern admission test rejects many workable task sets.  Rotating the
+patterns against each other (Quan & Hu's lever) can recover them.
+
+This script shows:
+
+1. a three-task set whose mandatory workload collides under deeply-red
+   and becomes schedulable with one rotation;
+2. admission rates over random paper-protocol draws for deeply-red,
+   E-pattern, and optimized rotations.
+
+Run:  python examples/pattern_rotation_study.py
+"""
+
+from __future__ import annotations
+
+from repro import RPattern, Task, TaskSet
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.rotation import optimize_rotations, schedulability_margin
+from repro.model.patterns import EPattern
+from repro.workload.generator import GeneratorConfig, TaskSetGenerator
+
+
+def collision_demo() -> None:
+    print("=== 1. deeply-red collision, rescued by rotation ===")
+    taskset = TaskSet([Task(4, 4, 2, 1, 2, name=f"t{i}") for i in range(3)])
+    print(
+        "three (1,2)-tasks, each C=2, P=4: mandatory utilization is only\n"
+        "0.25 per task (0.75 total), but deeply-red puts all three\n"
+        "mandatory bursts in the same periods -- 6 units of work per 4-unit\n"
+        "window -- while rotating one task fills the alternate windows."
+    )
+    red = [RPattern(t.mk) for t in taskset]
+    print(f"deeply-red margin:  {schedulability_margin(taskset, red)} "
+          "(negative = miss)")
+    rotations, patterns = optimize_rotations(taskset)
+    print(f"chosen rotations:   {rotations}")
+    print(f"rotated margin:     {schedulability_margin(taskset, patterns)}")
+    for index, pattern in enumerate(patterns):
+        print(f"  t{index} window: {pattern.window()}")
+    print()
+
+
+def admission_study(draws: int = 40, utilization: float = 0.6) -> None:
+    print(f"=== 2. admission rates at (m,k)-utilization {utilization} ===")
+    config = GeneratorConfig(require_schedulable=False)
+    generator = TaskSetGenerator(config, seed=2024)
+    admitted = {"deeply-red": 0, "E-pattern": 0, "rotated": 0}
+    produced = 0
+    while produced < draws:
+        taskset = generator.draw_raw(utilization)
+        if taskset is None:
+            continue
+        produced += 1
+        base = taskset.timebase()
+        horizon = analysis_horizon(taskset, base, 1000)
+        red = [RPattern(t.mk) for t in taskset]
+        even = [EPattern(t.mk) for t in taskset]
+        red_ok = schedulability_margin(taskset, red, base, horizon) >= 0
+        if red_ok:
+            admitted["deeply-red"] += 1
+            admitted["rotated"] += 1
+        else:
+            _, patterns = optimize_rotations(
+                taskset, base, horizon_ticks=horizon, max_rounds=2
+            )
+            if schedulability_margin(taskset, patterns, base, horizon) >= 0:
+                admitted["rotated"] += 1
+        if schedulability_margin(taskset, even, base, horizon) >= 0:
+            admitted["E-pattern"] += 1
+    for label, count in admitted.items():
+        print(f"  {label:11s} {count:3d}/{draws}  ({count / draws:.0%})")
+    print(
+        "\nnote: rotated >= deeply-red by construction; the paper keeps "
+        "deeply-red\nbecause Theorem 1's critical-instant argument needs it."
+    )
+
+
+def main() -> None:
+    collision_demo()
+    admission_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so ``pip install -e .``
+works in offline environments whose pip lacks the ``wheel`` package needed
+for PEP 660 editable builds (``--no-use-pep517`` then takes this path).
+"""
+
+from setuptools import setup
+
+setup()

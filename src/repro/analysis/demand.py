@@ -1,0 +1,39 @@
+"""Request/demand bounds for mandatory jobs under static patterns.
+
+These helpers answer "how many (mandatory) jobs of τ does a time window
+contain?" in O(k) time using pattern periodicity; they feed the
+pattern-aware response time analysis and the schedulability tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..model.patterns import Pattern
+
+
+def released_job_count(period_ticks: int, interval_ticks: int) -> int:
+    """Jobs of a synchronous task released in [0, t): ceil(t / P)."""
+    if period_ticks <= 0:
+        raise AnalysisError(f"period must be positive, got {period_ticks}")
+    if interval_ticks <= 0:
+        return 0
+    return -(-interval_ticks // period_ticks)
+
+
+def mandatory_job_count(pattern: Pattern, released: int) -> int:
+    """Mandatory jobs among the first ``released`` jobs of a task."""
+    if released <= 0:
+        return 0
+    return pattern.mandatory_count_in(1, released)  # type: ignore[attr-defined]
+
+
+def mandatory_demand(
+    pattern: Pattern, period_ticks: int, wcet_ticks: int, interval_ticks: int
+) -> int:
+    """Execution demand (ticks) of mandatory jobs released in [0, t).
+
+    This is the request-bound function of the mandatory subsequence for a
+    synchronously released task under a static pattern.
+    """
+    released = released_job_count(period_ticks, interval_ticks)
+    return mandatory_job_count(pattern, released) * wcet_ticks

@@ -1,0 +1,88 @@
+"""Closed-form per-task energy estimates for the standby-sparing schemes.
+
+These analytical bounds predict, per (m,k)-window of a task, how much
+active energy each scheme spends in the fault-free steady state.  They
+drive the :class:`~repro.schedulers.hybrid.MKSSHybrid` mode decision and
+are validated against simulation in the test suite.
+
+* **MKSS_ST**: every mandatory job runs twice to completion ->
+  ``2 * m * C`` per window.
+* **MKSS_DP / mandatory jobs of the selective scheme**: the main runs to
+  completion; the backup starts at the postponed release r + θ and is
+  canceled when the main completes, at latest r + R (the worst-case
+  mandatory response time) -> at most
+  ``m * (C + min(C, max(0, R - θ)))`` per window
+  (:func:`backup_overlap_bound`).  With θ >= Y = D - R the overlap bound
+  also never exceeds C - (D - R) slack permitting.
+* **MKSS_Selective (fault-free steady state)**: the FD = 1 rule executes
+  single copies at the exact long-run rate m/(k-1)
+  (:func:`~repro.schedulers.hybrid.selective_execution_rate`) ->
+  ``k * m/(k-1) * C`` per window.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..model.task import Task
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .postponement import task_postponement_intervals
+from .rta import response_time_mandatory
+
+
+def backup_overlap_bound(
+    taskset: TaskSet,
+    index: int,
+    timebase: Optional[TimeBase] = None,
+    theta_ticks: Optional[int] = None,
+) -> int:
+    """Worst-case backup execution before cancellation, in ticks.
+
+    ``min(C, max(0, R - θ))``: the backup becomes ready θ after release
+    and the main completes at latest R after release; whatever the backup
+    managed to execute in between is wasted overlap.  ``theta_ticks``
+    defaults to the task's θ from the postponement analysis.
+    """
+    base = timebase or taskset.timebase()
+    task = taskset[index]
+    wcet = base.to_ticks(task.wcet)
+    if theta_ticks is None:
+        theta_ticks = task_postponement_intervals(taskset, base).thetas[index]
+    try:
+        response = response_time_mandatory(taskset, index, base)
+    except AnalysisError:
+        response = base.to_ticks(task.deadline)
+    return min(wcet, max(0, response - theta_ticks))
+
+
+def st_energy_bound(task: Task) -> Fraction:
+    """MKSS_ST active energy per window, in C-units of the task's wcet."""
+    return Fraction(2 * task.mk.m) * task.wcet
+
+
+def dp_energy_bound(
+    taskset: TaskSet,
+    index: int,
+    timebase: Optional[TimeBase] = None,
+    theta_ticks: Optional[int] = None,
+) -> Fraction:
+    """Upper bound on DP-style active energy per (m,k)-window (time units)."""
+    base = timebase or taskset.timebase()
+    task = taskset[index]
+    overlap = backup_overlap_bound(taskset, index, base, theta_ticks)
+    return task.mk.m * (task.wcet + base.from_ticks(overlap))
+
+
+def selective_energy_bound(task: Task) -> Fraction:
+    """Fault-free selective-mode active energy per (m,k)-window.
+
+    Exact in the steady state when every selected optional completes:
+    the FD=1 rule executes m/(k-1) of the jobs, one copy each.
+    """
+    from ..schedulers.hybrid import selective_execution_rate
+
+    rate = selective_execution_rate(task.mk)
+    return rate * task.mk.k * task.wcet

@@ -1,0 +1,217 @@
+"""Backup release postponement analysis (Definitions 2-5 of the paper).
+
+The selective scheme delays every backup job J'_ij on the spare processor
+by a per-task *release postponement interval* θ_i, computed offline from
+the static R-pattern:
+
+* **Inspecting points** (Definition 3) of J'_ij: its absolute deadline
+  d_ij, plus every postponed release time r̃_kl of a higher-priority backup
+  job falling strictly inside (r_ij, d_ij).
+
+* **Job postponement interval** (Definition 4)::
+
+      θ_ij = max over inspecting points t̄ of
+             t̄ - (c_ij + Σ_{k<i, d_kl > r_ij, r̃_kl < t̄} c_kl) - r_ij
+
+  The intuition: if J'_ij's release is pushed to r_ij + θ_ij it can still
+  absorb all higher-priority backup work that becomes ready before some
+  inspecting point t̄ and complete by t̄ <= d_ij.
+
+* **Task postponement interval** (Definition 5): θ_i is the minimum θ_ij
+  over the mandatory jobs inside the priority-i (m,k)-hyperperiod
+  ``LCM_{q<=i}(k_q P_q)`` (bounded by the analysis horizon, see
+  :mod:`repro.analysis.hyperperiod`).
+
+Intervals are computed in *descending* priority order because the
+postponed releases of higher-priority backups are the inspecting points of
+lower-priority ones.  Finally θ_i is floored at the dual-priority
+promotion time Y_i, which is always safe (the paper states this fallback;
+its "R_i" is read as the promotion-based postponement, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..model.patterns import Pattern, RPattern
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .hyperperiod import mk_hyperperiod_ticks
+from .promotion import promotion_times
+
+
+@dataclass
+class PostponementResult:
+    """Outcome of the offline postponement analysis (all times in ticks).
+
+    Attributes:
+        thetas: per-task release postponement interval θ_i, priority order.
+        promotions: per-task promotion time Y_i (the safe floor).
+        raw_thetas: θ_i before flooring at Y_i (for reporting/ablation).
+        job_thetas: per task, the list of (job_index, θ_ij) examined.
+        horizon: the analysis horizon in ticks.
+    """
+
+    thetas: List[int]
+    promotions: List[int]
+    raw_thetas: List[int]
+    job_thetas: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+    horizon: int = 0
+
+    def postponed_release(self, task_index: int, release_ticks: int) -> int:
+        """r̃ = r + θ_i for a backup job of the given task (Equation 3)."""
+        return release_ticks + self.thetas[task_index]
+
+
+def _mandatory_jobs_before(
+    pattern: Pattern, period: int, limit: int
+) -> List[int]:
+    """1-based mandatory job indices with release strictly before ``limit``."""
+    if limit <= 0:
+        return []
+    last = -(-limit // period)  # jobs 1..last have release < limit
+    if (last - 1) * period >= limit:
+        last -= 1
+    return [j for j in range(1, last + 1) if pattern.is_mandatory(j)]
+
+
+def inspecting_points(
+    release: int,
+    deadline: int,
+    hp_postponed_releases: Sequence[int],
+) -> List[int]:
+    """Inspecting points of a backup job (Definition 3), sorted ascending.
+
+    Args:
+        release: r_ij in ticks.
+        deadline: d_ij in ticks.
+        hp_postponed_releases: postponed release times r̃_kl of all
+            higher-priority backup jobs (any range; filtered here).
+    """
+    points = {deadline}
+    for point in hp_postponed_releases:
+        if release < point < deadline:
+            points.add(point)
+    return sorted(points)
+
+
+def job_postponement_interval(
+    release: int,
+    deadline: int,
+    wcet: int,
+    hp_jobs: Sequence[Tuple[int, int, int]],
+) -> int:
+    """θ_ij per Definition 4.
+
+    Args:
+        release: r_ij in ticks.
+        deadline: d_ij in ticks.
+        wcet: c_ij in ticks.
+        hp_jobs: higher-priority backup jobs as tuples
+            ``(postponed_release, absolute_deadline, wcet)`` in ticks.
+
+    Returns:
+        The job release postponement interval θ_ij (may be negative when
+        the job has no slack at all; callers floor the per-task minimum).
+    """
+    relevant = [
+        (pr, dl, c) for (pr, dl, c) in hp_jobs if dl > release
+    ]
+    points = inspecting_points(release, deadline, [pr for pr, _, _ in relevant])
+    best: Optional[int] = None
+    for t_bar in points:
+        interference = sum(c for pr, _, c in relevant if pr < t_bar)
+        candidate = t_bar - (wcet + interference) - release
+        if best is None or candidate > best:
+            best = candidate
+    if best is None:  # pragma: no cover - deadline is always a point
+        raise AnalysisError("a backup job must have at least one inspecting point")
+    return best
+
+
+def task_postponement_intervals(
+    taskset: TaskSet,
+    timebase: Optional[TimeBase] = None,
+    patterns: Optional[Sequence[Pattern]] = None,
+    horizon_ticks: Optional[int] = None,
+    floor_at_promotion: bool = True,
+) -> PostponementResult:
+    """Compute θ_i for every task (Definition 5), priority order.
+
+    Args:
+        taskset: the task set (priority = index).
+        timebase: tick grid; derived from the task set when omitted.
+        patterns: static patterns (default: R-patterns).
+        horizon_ticks: cap on each task's examination window
+            ``LCM_{q<=i}(k_q P_q)``; ``None`` uses the full LCM (can be
+            huge for random task sets -- prefer passing the simulation
+            horizon).
+        floor_at_promotion: apply the θ_i := max(θ_i, Y_i) safety floor.
+
+    Returns:
+        A :class:`PostponementResult` with per-task θ_i and diagnostics.
+    """
+    base = timebase or taskset.timebase()
+    if patterns is None:
+        patterns = [RPattern(t.mk) for t in taskset]
+    promotions = promotion_times(taskset, base)
+
+    thetas: List[int] = []
+    raw_thetas: List[int] = []
+    job_thetas: Dict[int, List[Tuple[int, int]]] = {}
+    # Postponed (release, deadline, wcet) of every mandatory backup job of
+    # already-processed (higher-priority) tasks, flat across tasks.
+    hp_backup_jobs: List[Tuple[int, int, int]] = []
+    max_window = 0
+
+    for index, task in enumerate(taskset):
+        period = base.to_ticks(task.period)
+        deadline_rel = base.to_ticks(task.deadline)
+        wcet = base.to_ticks(task.wcet)
+        window = mk_hyperperiod_ticks(taskset, base, upto_priority=index)
+        if horizon_ticks is not None:
+            window = min(window, horizon_ticks)
+        max_window = max(max_window, window)
+
+        per_job: List[Tuple[int, int]] = []
+        theta_min: Optional[int] = None
+        for job_index in _mandatory_jobs_before(patterns[index], period, window):
+            release = (job_index - 1) * period
+            abs_deadline = release + deadline_rel
+            theta_j = job_postponement_interval(
+                release, abs_deadline, wcet, hp_backup_jobs
+            )
+            per_job.append((job_index, theta_j))
+            if theta_min is None or theta_j < theta_min:
+                theta_min = theta_j
+        if theta_min is None:
+            # No mandatory job in the window (cannot happen under R-pattern,
+            # whose first job is always mandatory, but E-patterns with a
+            # tiny window could): fall back to the promotion time.
+            theta_min = promotions[index]
+        raw_thetas.append(theta_min)
+        theta = max(theta_min, promotions[index]) if floor_at_promotion else theta_min
+        thetas.append(theta)
+        job_thetas[index] = per_job
+
+        # Publish this task's postponed backup jobs for lower priorities.
+        # Enumerate over the *global* horizon so that lower-priority tasks
+        # see all interfering jobs inside their own windows.
+        publish_limit = window if horizon_ticks is None else horizon_ticks
+        for job_index in _mandatory_jobs_before(
+            patterns[index], period, publish_limit
+        ):
+            release = (job_index - 1) * period
+            hp_backup_jobs.append(
+                (release + theta, release + deadline_rel, wcet)
+            )
+
+    return PostponementResult(
+        thetas=thetas,
+        promotions=promotions,
+        raw_thetas=raw_thetas,
+        job_thetas=job_thetas,
+        horizon=max_window,
+    )

@@ -1,0 +1,119 @@
+"""Reliability analysis under the Poisson transient-fault model.
+
+The standby-sparing literature (Zhu et al., Ejlali et al.) quantifies
+fault-tolerance as the probability that a job -- or any job in a window /
+hyperperiod -- remains uncovered.  Under the paper's model a transient
+fault hits an execution of length ``c`` with probability
+``p = 1 - exp(-lambda * c)``, independently per copy:
+
+* an *unprotected* execution (single copy, no recovery) fails with p;
+* a standby-sparing mandatory job fails only if **both** copies fault:
+  p^2 (the backup executes fully whenever the main faults);
+* re-execution with r recovery attempts fails with p^(r+1) *if* the
+  recoveries fit before the deadline (time feasibility is the scheduler's
+  job; this module quantifies the probabilistic part).
+
+These closed forms are exact for the model simulated by
+:mod:`repro.faults.transient`, which the tests verify by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+
+
+def fault_probability(rate: float, execution_units: float) -> float:
+    """P(at least one transient fault during an execution)."""
+    if rate < 0:
+        raise ConfigurationError(f"rate must be >= 0, got {rate}")
+    if execution_units < 0:
+        raise ConfigurationError(
+            f"execution time must be >= 0, got {execution_units}"
+        )
+    return 1.0 - math.exp(-rate * execution_units)
+
+
+def job_failure_probability(
+    rate: float, execution_units: float, copies: int = 2
+) -> float:
+    """P(all ``copies`` independent executions of one job fault)."""
+    if copies < 1:
+        raise ConfigurationError(f"copies must be >= 1, got {copies}")
+    return fault_probability(rate, execution_units) ** copies
+
+
+def task_window_failure_probability(
+    rate: float,
+    execution_units: float,
+    jobs_in_window: int,
+    copies: int = 2,
+) -> float:
+    """P(at least one of ``jobs_in_window`` duplicated jobs fails)."""
+    if jobs_in_window < 0:
+        raise ConfigurationError("jobs_in_window must be >= 0")
+    per_job = job_failure_probability(rate, execution_units, copies)
+    return 1.0 - (1.0 - per_job) ** jobs_in_window
+
+
+def taskset_failure_probability(
+    taskset: TaskSet,
+    rate: float,
+    horizon_units: float,
+    copies: int = 2,
+    mandatory_only: bool = True,
+    timebase: Optional[TimeBase] = None,
+) -> float:
+    """P(any protected job of any task fails within the horizon).
+
+    Args:
+        taskset: the task set.
+        rate: transient fault rate per time unit.
+        horizon_units: mission length in time units.
+        copies: redundant executions per protected job.
+        mandatory_only: count only the mandatory (m out of k) jobs --
+            optional jobs have no reliability requirement in the (m,k)
+            model (their loss is absorbed by the constraint).
+    """
+    survival = 1.0
+    for task in taskset:
+        jobs = int(horizon_units // float(task.period))
+        if mandatory_only:
+            jobs = jobs * task.mk.m // task.mk.k
+        per_job = job_failure_probability(rate, float(task.wcet), copies)
+        survival *= (1.0 - per_job) ** jobs
+    return 1.0 - survival
+
+
+def reliability_comparison(
+    taskset: TaskSet,
+    rate: float,
+    horizon_units: float,
+) -> List[dict]:
+    """Failure probabilities of the redundancy styles, for reporting.
+
+    Returns one row per style: no protection, standby-sparing (2 copies),
+    and re-execution with 1 and 2 recoveries.
+    """
+    styles = [
+        ("unprotected", 1),
+        ("standby-sparing", 2),
+        ("re-execution (1 retry)", 2),
+        ("re-execution (2 retries)", 3),
+    ]
+    rows = []
+    for label, copies in styles:
+        rows.append(
+            {
+                "style": label,
+                "copies": copies,
+                "failure_probability": taskset_failure_probability(
+                    taskset, rate, horizon_units, copies=copies
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,180 @@
+"""Schedulability tests for the mandatory workload under static patterns.
+
+Theorem 1 of the paper reduces the (m,k) guarantee of the selective scheme
+to "the task set is schedulable under R-pattern", i.e. the mandatory jobs
+of every task -- released synchronously under the static pattern -- all
+meet their deadlines under preemptive FP on one processor.
+
+Two tests are provided:
+
+* :func:`rta_mandatory_schedulable` -- fast fixed-point test using the
+  pattern-aware response time of the *first* job of each task.  Under the
+  deeply-red pattern the synchronous release is the critical instant for
+  the mandatory subsequence, so this is the standard sufficient test.
+
+* :func:`simulate_mandatory_fp` / :func:`is_rpattern_schedulable` -- an
+  exact event-driven simulation of the mandatory-only schedule over a
+  horizon, also reused to validate backup schedules under postponed
+  releases (every release can be shifted by a per-task offset).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..model.patterns import Pattern, RPattern
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .hyperperiod import analysis_horizon
+from .rta import response_time_mandatory
+
+
+def rta_mandatory_schedulable(
+    taskset: TaskSet,
+    timebase: Optional[TimeBase] = None,
+    patterns: Optional[Sequence[Pattern]] = None,
+) -> bool:
+    """Sufficient schedulability test via pattern-aware RTA."""
+    base = timebase or taskset.timebase()
+    try:
+        for index in range(len(taskset)):
+            response_time_mandatory(taskset, index, base, patterns)
+    except AnalysisError:
+        return False
+    return True
+
+
+def simulate_mandatory_schedule(
+    taskset: TaskSet,
+    timebase: Optional[TimeBase] = None,
+    patterns: Optional[Sequence[Pattern]] = None,
+    horizon_ticks: Optional[int] = None,
+    release_offsets: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, int, int, int]]:
+    """Exact FP simulation of the mandatory jobs on one processor.
+
+    Args:
+        taskset: task set (priority = index).
+        timebase: tick grid.
+        patterns: static partitioning patterns (default R-patterns).
+        horizon_ticks: releases strictly before this horizon are simulated
+            (default: the capped analysis horizon).
+        release_offsets: optional per-task tick offsets added to every
+            release (used to validate postponed backup schedules); the
+            deadline stays anchored at the *nominal* release.
+
+    Returns:
+        One ``(task_index, job_index, completion_tick, deadline_tick)``
+        entry per simulated mandatory job.
+    """
+    base = timebase or taskset.timebase()
+    if patterns is None:
+        patterns = [RPattern(t.mk) for t in taskset]
+    horizon = (
+        analysis_horizon(taskset, base)
+        if horizon_ticks is None
+        else horizon_ticks
+    )
+    if release_offsets is None:
+        release_offsets = [0] * len(taskset)
+    if len(release_offsets) != len(taskset):
+        raise AnalysisError(
+            "release_offsets must have one entry per task, got "
+            f"{len(release_offsets)} for {len(taskset)} tasks"
+        )
+
+    # (enqueue_tick, task_index, job_index, deadline_tick, wcet_ticks)
+    jobs: List[Tuple[int, int, int, int, int]] = []
+    for index, task in enumerate(taskset):
+        period = base.to_ticks(task.period)
+        deadline_rel = base.to_ticks(task.deadline)
+        wcet = base.to_ticks(task.wcet)
+        offset = release_offsets[index]
+        job_index = 1
+        while (job_index - 1) * period < horizon:
+            if patterns[index].is_mandatory(job_index):
+                release = (job_index - 1) * period
+                jobs.append(
+                    (release + offset, index, job_index, release + deadline_rel, wcet)
+                )
+            job_index += 1
+    jobs.sort()
+
+    completions: List[Tuple[int, int, int, int]] = []
+    ready: List[Tuple[int, int, int, int, List[int]]] = []  # heap
+    now = 0
+    position = 0
+    sequence = 0
+    total = len(jobs)
+    while position < total or ready:
+        if not ready:
+            now = max(now, jobs[position][0])
+        while position < total and jobs[position][0] <= now:
+            enq, index, job_index, deadline, wcet = jobs[position]
+            heapq.heappush(
+                ready, (index, sequence, job_index, deadline, [wcet])
+            )
+            sequence += 1
+            position += 1
+        if not ready:
+            continue
+        index, _, job_index, deadline, remaining = ready[0]
+        next_release = jobs[position][0] if position < total else None
+        finish = now + remaining[0]
+        if next_release is not None and next_release < finish:
+            remaining[0] -= next_release - now
+            now = next_release
+        else:
+            heapq.heappop(ready)
+            now = finish
+            completions.append((index, job_index, finish, deadline))
+    return completions
+
+
+def simulate_mandatory_fp(
+    taskset: TaskSet,
+    timebase: Optional[TimeBase] = None,
+    patterns: Optional[Sequence[Pattern]] = None,
+    horizon_ticks: Optional[int] = None,
+    release_offsets: Optional[Sequence[int]] = None,
+) -> Tuple[bool, List[Tuple[int, int, int]]]:
+    """Deadline check over :func:`simulate_mandatory_schedule`.
+
+    Returns ``(ok, misses)`` where ``misses`` lists
+    ``(task_index, job_index, completion_tick)`` for every mandatory job
+    that finished after its deadline (empty when ``ok``).
+    """
+    completions = simulate_mandatory_schedule(
+        taskset, timebase, patterns, horizon_ticks, release_offsets
+    )
+    misses = [
+        (index, job_index, finish)
+        for index, job_index, finish, deadline in completions
+        if finish > deadline
+    ]
+    return (not misses, misses)
+
+
+def is_rpattern_schedulable(
+    taskset: TaskSet,
+    timebase: Optional[TimeBase] = None,
+    horizon_ticks: Optional[int] = None,
+    exact: bool = True,
+) -> bool:
+    """The paper's admission condition: schedulable under R-pattern.
+
+    With ``exact=True`` (default) this runs the event-driven simulation
+    over the horizon; otherwise only the fast RTA-based sufficient test.
+    """
+    base = timebase or taskset.timebase()
+    patterns = [RPattern(t.mk) for t in taskset]
+    if rta_mandatory_schedulable(taskset, base, patterns):
+        return True
+    if not exact:
+        return False
+    ok, _ = simulate_mandatory_fp(
+        taskset, base, patterns, horizon_ticks=horizon_ticks
+    )
+    return ok

@@ -1,0 +1,105 @@
+"""Sensitivity analysis: critical scaling factors and slack margins.
+
+Classic questions for a deployed task set:
+
+* **How much heavier can the workload get?**
+  :func:`critical_scaling_factor` binary-searches the largest uniform
+  WCET multiplier under which the mandatory workload stays schedulable
+  (under R-pattern, the paper's admission condition).
+* **How much slack does each task have?**
+  :func:`per_task_slack` reports D_i − R_i^mand per task -- the budget
+  the promotion/postponement machinery spends.
+
+Both are exact up to the chosen precision: the schedulability oracle is
+the event-driven mandatory-schedule simulation, not a sufficient test.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from ..errors import AnalysisError
+from ..model.task import Task
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .hyperperiod import analysis_horizon
+from .promotion import promotion_times
+from .schedulability import is_rpattern_schedulable
+
+
+def scale_wcets(taskset: TaskSet, factor: Fraction) -> TaskSet:
+    """A copy of the task set with every WCET multiplied by ``factor``.
+
+    Raises:
+        AnalysisError: if scaling pushes any C above its D.
+    """
+    if factor <= 0:
+        raise AnalysisError(f"scale factor must be positive, got {factor}")
+    tasks: List[Task] = []
+    for task in taskset:
+        wcet = task.wcet * factor
+        if wcet > task.deadline:
+            raise AnalysisError(
+                f"scaling by {factor} pushes {task.name}'s WCET past its "
+                f"deadline"
+            )
+        tasks.append(
+            Task(task.period, task.deadline, wcet, task.mk, name=task.name)
+        )
+    return TaskSet(tasks)
+
+
+def critical_scaling_factor(
+    taskset: TaskSet,
+    precision: Fraction = Fraction(1, 128),
+    horizon_cap_units: int = 2000,
+) -> Fraction:
+    """Largest WCET multiplier keeping the set R-pattern schedulable.
+
+    Binary search over [lo, hi] where hi is capped by min(D_i / C_i)
+    (beyond that some WCET exceeds its deadline).  The returned factor is
+    schedulable; factor + precision is not (or hits the structural cap).
+
+    Returns:
+        A `Fraction` >= 0; values < 1 mean the set is *not* schedulable
+        as given.
+    """
+    if precision <= 0:
+        raise AnalysisError("precision must be positive")
+    structural_cap = min(
+        Fraction(task.deadline) / Fraction(task.wcet) for task in taskset
+    )
+
+    def schedulable(factor: Fraction) -> bool:
+        if factor > structural_cap:
+            return False
+        scaled = scale_wcets(taskset, factor)
+        base = scaled.timebase()
+        horizon = analysis_horizon(scaled, base, horizon_cap_units)
+        return is_rpattern_schedulable(scaled, base, horizon_ticks=horizon)
+
+    lo = Fraction(0)
+    hi = structural_cap
+    if schedulable(hi):
+        return hi
+    # Invariant: lo schedulable (0 trivially is not runnable -- treat the
+    # smallest representable load as schedulable), hi not schedulable.
+    lo = precision
+    if not schedulable(lo):
+        return Fraction(0)
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if schedulable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def per_task_slack(
+    taskset: TaskSet, timebase: Optional[TimeBase] = None
+) -> List[Fraction]:
+    """D_i − R_i^mand per task, in model time units (the promotion budget)."""
+    base = timebase or taskset.timebase()
+    return [base.from_ticks(y) for y in promotion_times(taskset, base)]

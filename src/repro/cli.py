@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze``  -- offline analysis of a task set (RTA, Y_i, θ_i,
+  schedulability).
+* ``simulate`` -- run one scheme on a task set and print the Gantt chart,
+  energy, and QoS metrics.
+* ``sweep``    -- a Figure 6 panel (choose the fault scenario).
+* ``examples`` -- list the paper's preset task sets.
+
+Task sets are given inline as semicolon-separated five-tuples, e.g.::
+
+    python -m repro simulate --scheme MKSS_Selective \
+        --tasks "5,4,3,2,4; 10,10,3,1,2" --horizon 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.hyperperiod import analysis_horizon
+from .analysis.postponement import task_postponement_intervals
+from .analysis.promotion import promotion_times
+from .analysis.rta import response_times_mandatory
+from .analysis.schedulability import is_rpattern_schedulable
+from .energy.accounting import energy_of
+from .energy.power import PowerModel
+from .errors import ReproError
+from .harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
+from .harness.report import format_series_table, format_table
+from .harness.runner import SCHEME_FACTORIES
+from .model.task import Task
+from .model.taskset import TaskSet
+from .qos.metrics import collect_metrics
+from .schedulers.base import run_policy
+from .sim.gantt import render_gantt
+from .workload.presets import motivation_tasksets
+
+
+def parse_taskset(spec: str) -> TaskSet:
+    """Parse "P,D,C,m,k; P,D,C,m,k; ..." into a TaskSet."""
+    tasks: List[Task] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        fields = [f.strip() for f in chunk.split(",")]
+        if len(fields) != 5:
+            raise ReproError(
+                f"each task needs 5 fields (P,D,C,m,k), got {chunk!r}"
+            )
+        period, deadline, wcet = fields[0], fields[1], fields[2]
+        m, k = int(fields[3]), int(fields[4])
+        tasks.append(Task(period, deadline, wcet, m, k))
+    if not tasks:
+        raise ReproError("no tasks given")
+    return TaskSet(tasks)
+
+
+def _resolve_taskset(args) -> TaskSet:
+    if args.preset:
+        presets = motivation_tasksets()
+        if args.preset not in presets:
+            raise ReproError(
+                f"unknown preset {args.preset!r}; choose from {sorted(presets)}"
+            )
+        return presets[args.preset]
+    if getattr(args, "tasks_file", None):
+        from .workload.serialization import load_taskset
+
+        return load_taskset(args.tasks_file)
+    if not args.tasks:
+        raise ReproError("pass --tasks, --tasks-file, or --preset")
+    return parse_taskset(args.tasks)
+
+
+def cmd_analyze(args) -> int:
+    taskset = _resolve_taskset(args)
+    base = taskset.timebase()
+    print(f"task set: {taskset}")
+    print(f"utilization: {float(taskset.utilization):.3f}")
+    print(f"(m,k)-utilization: {float(taskset.mk_utilization):.3f}")
+    print(f"R-pattern schedulable: {is_rpattern_schedulable(taskset)}")
+    rows = []
+    thetas = task_postponement_intervals(taskset, base)
+    responses = response_times_mandatory(taskset, base)
+    promotions = promotion_times(taskset, base)
+    for index, task in enumerate(taskset):
+        rows.append(
+            [
+                task.name,
+                "(" + ",".join(str(v) for v in task.paper_tuple()) + ")",
+                str(base.from_ticks(responses[index])),
+                str(base.from_ticks(promotions[index])),
+                str(base.from_ticks(thetas.thetas[index])),
+            ]
+        )
+    print(
+        format_table(
+            ["task", "(P,D,C,m,k)", "R_i (mand.)", "Y_i", "theta_i"], rows
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    taskset = _resolve_taskset(args)
+    base = taskset.timebase()
+    if args.scheme not in SCHEME_FACTORIES:
+        raise ReproError(
+            f"unknown scheme {args.scheme!r}; known: {sorted(SCHEME_FACTORIES)}"
+        )
+    if args.horizon:
+        horizon = args.horizon * base.ticks_per_unit
+    else:
+        horizon = analysis_horizon(taskset, base, 2000)
+    result = run_policy(taskset, SCHEME_FACTORIES[args.scheme](), horizon, base)
+    if args.gantt:
+        cell = 1 if base.ticks_per_unit == 1 else f"1/{base.ticks_per_unit}"
+        print(render_gantt(result.trace, base, horizon, cell_units=cell))
+    metrics = collect_metrics(result)
+    energy = energy_of(result.trace, base, horizon, PowerModel.paper_default())
+    active = energy_of(result.trace, base, horizon, PowerModel.active_only())
+    print(f"scheme: {args.scheme}  horizon: {base.from_ticks(horizon)}")
+    print(f"active energy: {float(active.active_units):g}")
+    print(f"total energy (paper model): {energy.total_energy:.3f}")
+    for key, value in metrics.as_dict().items():
+        print(f"  {key}: {value}")
+    if args.timeline:
+        from .qos.timeline import render_timelines
+
+        print()
+        print(render_timelines(result))
+    if args.export:
+        from .sim.export import write_result
+
+        write_result(result, args.export)
+        print(f"trace written to {args.export}")
+    return 0 if metrics.mk_violations == 0 else 1
+
+
+def parse_bins(spec: str):
+    """Parse "0.2:0.3,0.5:0.6" into [(0.2, 0.3), (0.5, 0.6)]."""
+    bins = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            lo_text, hi_text = chunk.split(":")
+            lo, hi = float(lo_text), float(hi_text)
+        except ValueError as exc:
+            raise ReproError(f"bad bin {chunk!r}, expected lo:hi") from exc
+        if not lo < hi:
+            raise ReproError(f"bad bin {chunk!r}: need lo < hi")
+        bins.append((lo, hi))
+    if not bins:
+        raise ReproError("no bins given")
+    return bins
+
+
+def cmd_sweep(args) -> int:
+    panel = {"none": fig6a, "permanent": fig6b, "transient": fig6c}[args.faults]
+    bins = parse_bins(args.bins) if args.bins else list(DEFAULT_BINS)
+    sweep = panel(
+        bins=bins,
+        sets_per_bin=args.sets_per_bin,
+        seed=args.seed,
+        horizon_cap_units=args.horizon,
+    )
+    print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
+    if args.chart:
+        from .harness.ascii_chart import render_sweep_chart
+
+        print()
+        print(render_sweep_chart(sweep))
+    return 0
+
+
+def cmd_examples(args) -> int:
+    for name, taskset in motivation_tasksets().items():
+        print(f"{name}: {taskset}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(m,k)-firm standby-sparing scheduling (DATE 2020 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="offline analysis of a task set")
+    analyze.add_argument("--tasks", help='"P,D,C,m,k; ..." inline task set')
+    analyze.add_argument("--tasks-file", help="JSON task-set file")
+    analyze.add_argument("--preset", help="fig1 | fig3 | fig5")
+    analyze.set_defaults(func=cmd_analyze)
+
+    simulate = sub.add_parser("simulate", help="simulate one scheme")
+    simulate.add_argument("--tasks", help='"P,D,C,m,k; ..." inline task set')
+    simulate.add_argument("--tasks-file", help="JSON task-set file")
+    simulate.add_argument("--preset", help="fig1 | fig3 | fig5")
+    simulate.add_argument(
+        "--scheme", default="MKSS_Selective", help="scheme name"
+    )
+    simulate.add_argument(
+        "--horizon", type=int, default=0, help="horizon in time units"
+    )
+    simulate.add_argument(
+        "--no-gantt", dest="gantt", action="store_false", help="skip the chart"
+    )
+    simulate.add_argument(
+        "--export", default="", help="write the trace to a .json/.csv file"
+    )
+    simulate.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print per-task (m,k) timelines",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="run a Figure 6 panel")
+    sweep.add_argument(
+        "--faults",
+        choices=("none", "permanent", "transient"),
+        default="none",
+    )
+    sweep.add_argument("--sets-per-bin", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=20200309)
+    sweep.add_argument("--horizon", type=int, default=1000)
+    sweep.add_argument(
+        "--bins", default="", help='utilization bins as "0.2:0.3,0.5:0.6"'
+    )
+    sweep.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    examples = sub.add_parser("examples", help="list the paper's presets")
+    examples.set_defaults(func=cmd_examples)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

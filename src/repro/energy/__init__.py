@@ -1,0 +1,24 @@
+"""Energy modeling: power states, dynamic power down, trace accounting."""
+
+from .power import PowerModel
+from .dpd import DPDController, shutdown_decision
+from .accounting import EnergyReport, energy_of
+from .dvs import DVSModel, scaled_energy
+from .dvs_scheduling import (
+    dvs_energy_of,
+    max_uniform_slowdown,
+    slowed_taskset,
+)
+
+__all__ = [
+    "PowerModel",
+    "DPDController",
+    "shutdown_decision",
+    "EnergyReport",
+    "energy_of",
+    "DVSModel",
+    "scaled_energy",
+    "dvs_energy_of",
+    "max_uniform_slowdown",
+    "slowed_taskset",
+]

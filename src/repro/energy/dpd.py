@@ -1,0 +1,70 @@
+"""Dynamic power down decisions (Algorithm 1, lines 10-15).
+
+When a processor has no pending job, the scheduler computes the gap to the
+earliest upcoming mandatory arrival; if the gap exceeds the break-even time
+T_be it shuts the processor down and arms a wake-up timer.  Energy-wise the
+decision is a pure function of the gap length, which is what
+:func:`shutdown_decision` captures; :class:`DPDController` additionally
+tracks cycle counts for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Tuple
+
+from .power import PowerModel
+
+
+def shutdown_decision(gap_units: Fraction, model: PowerModel) -> bool:
+    """Whether DPD shuts down for an idle gap of the given length.
+
+    Shutting down is chosen when the gap is strictly longer than the
+    break-even time *and* actually saves energy under the model::
+
+        sleep_power * gap + transition_energy < idle_power * gap
+
+    With the paper's defaults (sleep = transition = 0) this reduces to the
+    paper's plain ``gap > T_be`` rule.
+    """
+    if gap_units <= model.break_even:
+        return False
+    sleep_cost = model.sleep_power * float(gap_units) + model.transition_energy
+    idle_cost = model.idle_power * float(gap_units)
+    return sleep_cost < idle_cost or model.idle_power == model.sleep_power == 0.0
+
+
+@dataclass
+class DPDController:
+    """Tracks shutdown decisions over a run, for diagnostics.
+
+    Attributes:
+        model: the power model consulted for each decision.
+        shutdowns: gaps (start, end) that led to a shutdown.
+        idles: gaps kept in the idle state.
+    """
+
+    model: PowerModel
+    shutdowns: List[Tuple[Fraction, Fraction]] = field(default_factory=list)
+    idles: List[Tuple[Fraction, Fraction]] = field(default_factory=list)
+
+    def observe_gap(self, start: Fraction, end: Fraction) -> bool:
+        """Record one idle gap; returns True when it becomes a shutdown."""
+        if shutdown_decision(end - start, self.model):
+            self.shutdowns.append((start, end))
+            return True
+        self.idles.append((start, end))
+        return False
+
+    @property
+    def shutdown_count(self) -> int:
+        return len(self.shutdowns)
+
+    @property
+    def sleep_time(self) -> Fraction:
+        return sum((end - start for start, end in self.shutdowns), Fraction(0))
+
+    @property
+    def idle_time(self) -> Fraction:
+        return sum((end - start for start, end in self.idles), Fraction(0))

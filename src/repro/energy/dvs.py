@@ -1,0 +1,79 @@
+"""Dynamic voltage scaling extension (not used by the paper's evaluation).
+
+The paper's MKSS-DP baseline deliberately runs *without* DVS ("similar to
+that used in [8] (but without applying DVS)") because shrinking technology
+makes leakage dominate; this module exists so users can explore the
+combination anyway, and so ablation benches can quantify how little DVS
+adds once DPD is in place.
+
+Model: a job executed at normalized speed ``s`` (0 < s <= 1) takes
+``c / s`` time and draws dynamic power ``s**alpha`` (alpha ~ 3 for CMOS)
+plus static power ``static_power``.  Energy for ``c`` units of work::
+
+    E(s) = (s**alpha + static_power) * c / s
+
+The *critical speed* minimizes E(s); running below it wastes energy on
+leakage, which is exactly the paper's argument for DPD over DVS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DVSModel:
+    """A normalized DVS power model.
+
+    Attributes:
+        alpha: dynamic power exponent (power = s**alpha at speed s).
+        static_power: leakage floor, paid whenever the processor is on.
+        min_speed: lowest selectable speed.
+    """
+
+    alpha: float = 3.0
+    static_power: float = 0.1
+    min_speed: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1:
+            raise ConfigurationError("alpha must exceed 1 for DVS to make sense")
+        if not 0 < self.min_speed <= 1:
+            raise ConfigurationError("min_speed must be in (0, 1]")
+        if self.static_power < 0:
+            raise ConfigurationError("static_power must be non-negative")
+
+    def power_at(self, speed: float) -> float:
+        """Total power draw when executing at the given speed."""
+        self._check_speed(speed)
+        return speed**self.alpha + self.static_power
+
+    def energy_for(self, work_units: float, speed: float) -> float:
+        """Energy to execute ``work_units`` of work at constant speed."""
+        self._check_speed(speed)
+        if work_units < 0:
+            raise ConfigurationError("work must be non-negative")
+        return self.power_at(speed) * work_units / speed
+
+    def critical_speed(self) -> float:
+        """Speed minimizing energy per unit of work.
+
+        Solves d/ds [(s**alpha + P_s)/s] = 0, giving
+        s* = (P_s / (alpha - 1)) ** (1/alpha), clamped to
+        [min_speed, 1].
+        """
+        unclamped = (self.static_power / (self.alpha - 1)) ** (1.0 / self.alpha)
+        return min(1.0, max(self.min_speed, unclamped))
+
+    def _check_speed(self, speed: float) -> None:
+        if not self.min_speed <= speed <= 1:
+            raise ConfigurationError(
+                f"speed {speed} outside [{self.min_speed}, 1]"
+            )
+
+
+def scaled_energy(work_units: float, speed: float, model: DVSModel) -> float:
+    """Convenience wrapper: energy of ``work_units`` at ``speed``."""
+    return model.energy_for(work_units, speed)

@@ -1,0 +1,72 @@
+"""Processor power model.
+
+The paper normalizes the active power P_act to 1 (one energy unit per time
+unit of execution, dynamic + static combined) and relies on dynamic power
+down (DPD) rather than DVS: when no job is pending and the idle interval
+exceeds the break-even time T_be, the processor is shut down.
+
+:class:`PowerModel` generalizes that slightly so ablations can vary the
+idle/sleep floor, while the defaults reproduce the paper's accounting:
+busy time costs 1 per unit, a shut-down interval costs ``sleep_power``
+per unit plus a fixed ``transition_energy``, and an idle interval too
+short to shut down costs ``idle_power`` per unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ConfigurationError
+from ..timebase import TimeLike, as_fraction
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power coefficients, in energy units per model time unit.
+
+    Attributes:
+        active_power: power while executing a job (paper: 1.0).
+        idle_power: power while idle but not shut down.
+        sleep_power: power while shut down via DPD.
+        transition_energy: fixed energy cost of one shutdown+wakeup cycle.
+        break_even: minimal idle interval length worth shutting down for
+            (the paper's T_be = 1 ms).
+    """
+
+    active_power: float = 1.0
+    idle_power: float = 0.1
+    sleep_power: float = 0.0
+    transition_energy: float = 0.0
+    break_even: Fraction = Fraction(1)
+
+    def __post_init__(self) -> None:
+        for label in ("active_power", "idle_power", "sleep_power", "transition_energy"):
+            value = getattr(self, label)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigurationError(f"{label} must be a non-negative number")
+        object.__setattr__(self, "break_even", as_fraction(self.break_even))
+        if self.break_even < 0:
+            raise ConfigurationError("break_even must be non-negative")
+
+    @classmethod
+    def paper_default(cls, break_even: TimeLike = 1) -> "PowerModel":
+        """The evaluation section's setting: P_act = 1, T_be = 1 ms."""
+        return cls(
+            active_power=1.0,
+            idle_power=0.1,
+            sleep_power=0.0,
+            transition_energy=0.0,
+            break_even=as_fraction(break_even),
+        )
+
+    @classmethod
+    def active_only(cls) -> "PowerModel":
+        """Count only active energy (the motivating examples' metric)."""
+        return cls(
+            active_power=1.0,
+            idle_power=0.0,
+            sleep_power=0.0,
+            transition_energy=0.0,
+            break_even=Fraction(0),
+        )

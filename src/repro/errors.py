@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) surface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """Invalid task, job, or (m,k)-constraint parameters."""
+
+
+class TimeBaseError(ReproError):
+    """A time value cannot be represented on the simulation tick grid."""
+
+
+class AnalysisError(ReproError):
+    """Offline analysis failed (e.g. response time exceeds the deadline)."""
+
+
+class UnschedulableError(AnalysisError):
+    """The task set is not schedulable under the requested test."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected while simulating."""
+
+
+class ConfigurationError(ReproError):
+    """A scheduler or harness was configured with invalid options."""
+
+
+class WorkloadError(ReproError):
+    """Random workload generation could not satisfy its constraints."""

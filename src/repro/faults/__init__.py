@@ -1,0 +1,16 @@
+"""Fault models: transient (Poisson) and permanent (standby takeover)."""
+
+from .types import FaultKind, PermanentFault, TransientFaultModel
+from .transient import PoissonTransientFaults, NoTransientFaults
+from .permanent import random_permanent_fault
+from .scenario import FaultScenario
+
+__all__ = [
+    "FaultKind",
+    "PermanentFault",
+    "TransientFaultModel",
+    "PoissonTransientFaults",
+    "NoTransientFaults",
+    "random_permanent_fault",
+    "FaultScenario",
+]

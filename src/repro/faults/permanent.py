@@ -1,0 +1,36 @@
+"""Permanent fault generation.
+
+The second and third experiments of the paper assume the system is subject
+to a permanent fault that "could occur at most once".  For the sweep we
+draw the fault instant uniformly over the simulation horizon and the dying
+processor uniformly between primary and spare, from a dedicated seeded RNG
+stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .types import PermanentFault
+
+
+def random_permanent_fault(
+    horizon_ticks: int,
+    seed: "Optional[int | random.Random]" = None,
+    processor: Optional[int] = None,
+) -> PermanentFault:
+    """Draw one permanent fault uniformly over [0, horizon).
+
+    Args:
+        horizon_ticks: simulation horizon (ticks).
+        seed: RNG seed or instance for reproducibility.
+        processor: force the dying processor (0/1); random when None.
+    """
+    if horizon_ticks <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon_ticks}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    dying = rng.randrange(2) if processor is None else processor
+    instant = rng.randrange(horizon_ticks)
+    return PermanentFault(processor=dying, time_ticks=instant)

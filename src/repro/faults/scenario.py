@@ -1,0 +1,105 @@
+"""Composable fault scenarios matching the paper's three experiments.
+
+* ``FaultScenario.none()`` -- Figure 6(a): no faults at all.
+* ``FaultScenario.permanent_only(...)`` -- Figure 6(b): at most one
+  permanent fault, no transients.
+* ``FaultScenario.permanent_and_transient(...)`` -- Figure 6(c): one
+  permanent fault plus Poisson transients at λ = 1e-6 per ms.
+
+A scenario is a small factory: given the simulation horizon and tick grid
+it yields the ``(transient_fault_fn, permanent_fault)`` pair the engine
+consumes, drawing randomness from per-purpose seeded streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..timebase import TimeBase
+from .permanent import random_permanent_fault
+from .transient import (
+    PAPER_FAULT_RATE,
+    NoTransientFaults,
+    PoissonTransientFaults,
+)
+from .types import PermanentFault, TransientFaultModel
+
+
+@dataclass
+class FaultScenario:
+    """A reproducible fault configuration for one simulation run.
+
+    Attributes:
+        transient_rate: Poisson rate per time unit (0 = no transients).
+        with_permanent: whether one permanent fault is injected.
+        seed: base seed; transient and permanent streams are derived.
+        permanent_processor: force which processor dies, or None = random.
+        permanent_tick: force the fault instant, or None = uniform random.
+    """
+
+    transient_rate: float = 0.0
+    with_permanent: bool = False
+    seed: Optional[int] = None
+    permanent_processor: Optional[int] = None
+    permanent_tick: Optional[int] = None
+
+    @classmethod
+    def none(cls) -> "FaultScenario":
+        """Experiment 1: fault-free."""
+        return cls()
+
+    @classmethod
+    def permanent_only(
+        cls,
+        seed: Optional[int] = None,
+        processor: Optional[int] = None,
+        tick: Optional[int] = None,
+    ) -> "FaultScenario":
+        """Experiment 2: a single permanent fault."""
+        return cls(
+            with_permanent=True,
+            seed=seed,
+            permanent_processor=processor,
+            permanent_tick=tick,
+        )
+
+    @classmethod
+    def permanent_and_transient(
+        cls,
+        seed: Optional[int] = None,
+        rate: float = PAPER_FAULT_RATE,
+    ) -> "FaultScenario":
+        """Experiment 3: permanent fault plus Poisson transients."""
+        return cls(transient_rate=rate, with_permanent=True, seed=seed)
+
+    def materialize(
+        self, horizon_ticks: int, timebase: TimeBase
+    ) -> Tuple[TransientFaultModel, Optional[Tuple[int, int]]]:
+        """Instantiate the fault oracles for one run."""
+        if self.transient_rate > 0:
+            transient: TransientFaultModel = PoissonTransientFaults(
+                self.transient_rate,
+                timebase,
+                seed=None if self.seed is None else self.seed * 2654435761 % 2**31,
+            )
+        else:
+            transient = NoTransientFaults()
+        permanent: Optional[Tuple[int, int]] = None
+        if self.with_permanent:
+            if self.permanent_tick is not None and self.permanent_processor is not None:
+                permanent = PermanentFault(
+                    self.permanent_processor, self.permanent_tick
+                ).as_tuple()
+            else:
+                rng = random.Random(
+                    None if self.seed is None else self.seed ^ 0x5EED
+                )
+                fault = random_permanent_fault(
+                    horizon_ticks, seed=rng, processor=self.permanent_processor
+                )
+                if self.permanent_tick is not None:
+                    fault = PermanentFault(fault.processor, self.permanent_tick)
+                permanent = fault.as_tuple()
+        return transient, permanent

@@ -1,0 +1,34 @@
+"""Experiment harness: runners, utilization sweeps, and Figure 6 series."""
+
+from .runner import SCHEME_FACTORIES, RunOutcome, run_scheme
+from .sweep import BinResult, SweepResult, utilization_sweep
+from .figures import (
+    FIGURE_SCENARIOS,
+    figure6_series,
+    fig6a,
+    fig6b,
+    fig6c,
+)
+from .report import format_series_table, format_table
+from .ascii_chart import render_sweep_chart
+from .stats import mean, sample_std, confidence_interval95
+
+__all__ = [
+    "SCHEME_FACTORIES",
+    "RunOutcome",
+    "run_scheme",
+    "BinResult",
+    "SweepResult",
+    "utilization_sweep",
+    "FIGURE_SCENARIOS",
+    "figure6_series",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "format_table",
+    "format_series_table",
+    "render_sweep_chart",
+    "mean",
+    "sample_std",
+    "confidence_interval95",
+]

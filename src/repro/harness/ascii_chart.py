@@ -1,0 +1,68 @@
+"""ASCII line charts for sweep series (no plotting dependencies).
+
+Renders a Figure-6-style panel as a terminal chart: one column per
+utilization bin, one mark per scheme, y = normalized energy.  Used by the
+CLI's ``sweep --chart`` and handy in bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .sweep import SweepResult
+
+_MARKS = "SDTHXGABC"  # one letter per scheme, assigned in order
+
+
+def render_sweep_chart(
+    sweep: SweepResult, height: int = 12, title: str = ""
+) -> str:
+    """Render normalized energy series as an ASCII chart.
+
+    Args:
+        sweep: a completed utilization sweep.
+        height: number of chart rows between y=0 and y=max.
+        title: optional heading line.
+
+    Returns:
+        A multi-line string; each scheme gets a letter mark, overlapping
+        points show ``*``.
+    """
+    if height < 2:
+        raise ConfigurationError("chart height must be >= 2")
+    if not sweep.bins:
+        return f"{title}\n(no data)" if title else "(no data)"
+    schemes = list(sweep.schemes)
+    values: Dict[str, List[float]] = {
+        scheme: [b.normalized_energy[scheme] for b in sweep.bins]
+        for scheme in schemes
+    }
+    y_max = max(max(series) for series in values.values())
+    y_max = max(y_max, 1.0)
+    columns = len(sweep.bins)
+    grid = [[" "] * columns for _ in range(height + 1)]
+    for scheme_index, scheme in enumerate(schemes):
+        mark = _MARKS[scheme_index % len(_MARKS)]
+        for column, value in enumerate(values[scheme]):
+            row = height - round(value / y_max * height)
+            row = min(max(row, 0), height)
+            cell = grid[row][column]
+            grid[row][column] = mark if cell == " " else "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = (height - row_index) / height * y_max
+        axis = f"{y_value:5.2f} |"
+        lines.append(axis + " " + "  ".join(row))
+    lines.append("      +" + "-" * (3 * columns))
+    labels = "       " + "  ".join(
+        f"{b.bin_range[0]:.1f}"[-2:] for b in sweep.bins
+    )
+    lines.append(labels + "   ((m,k)-utilization bin start)")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={scheme}" for i, scheme in enumerate(schemes)
+    )
+    lines.append("legend: " + legend + "  *=overlap")
+    return "\n".join(lines)

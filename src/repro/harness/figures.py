@@ -1,0 +1,122 @@
+"""Experiment definitions for the paper's Figure 6 panels.
+
+Each panel is a utilization sweep of the three approaches under one fault
+scenario:
+
+* 6(a) no faults;
+* 6(b) one permanent fault per run (uniform instant, random processor);
+* 6(c) a permanent fault plus Poisson transient faults (λ = 1e-6 / ms).
+
+Panels share the generated task sets when run through
+:func:`figure6_series`, matching the paper's presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..faults.scenario import FaultScenario
+from ..faults.transient import PAPER_FAULT_RATE
+from ..workload.generator import GeneratorConfig, generate_binned_tasksets
+from .runner import PAPER_SCHEMES
+from .sweep import ScenarioFactory, SweepResult, utilization_sweep
+
+#: Default (m,k)-utilization bins: 0.1-wide intervals over (0, 1].
+DEFAULT_BINS: Tuple[Tuple[float, float], ...] = tuple(
+    (round(lo / 10, 1), round((lo + 1) / 10, 1)) for lo in range(1, 10)
+)
+
+
+def _scenario_none(_: int) -> FaultScenario:
+    return FaultScenario.none()
+
+
+def _scenario_permanent(seed_base: int) -> ScenarioFactory:
+    def factory(index: int) -> FaultScenario:
+        return FaultScenario.permanent_only(seed=seed_base + index)
+
+    return factory
+
+
+def _scenario_permanent_transient(seed_base: int) -> ScenarioFactory:
+    def factory(index: int) -> FaultScenario:
+        return FaultScenario.permanent_and_transient(
+            seed=seed_base + index, rate=PAPER_FAULT_RATE
+        )
+
+    return factory
+
+
+FIGURE_SCENARIOS: Dict[str, str] = {
+    "fig6a": "no fault",
+    "fig6b": "permanent fault",
+    "fig6c": "permanent and transient faults",
+}
+
+
+def fig6a(**kwargs) -> SweepResult:
+    """Figure 6(a): energy comparison with no faults."""
+    kwargs.setdefault("scenario_factory", _scenario_none)
+    return _run_panel(**kwargs)
+
+
+def fig6b(seed_base: int = 1_000_000, **kwargs) -> SweepResult:
+    """Figure 6(b): energy comparison under one permanent fault."""
+    kwargs.setdefault("scenario_factory", _scenario_permanent(seed_base))
+    return _run_panel(**kwargs)
+
+
+def fig6c(seed_base: int = 2_000_000, **kwargs) -> SweepResult:
+    """Figure 6(c): energy under permanent + transient faults."""
+    kwargs.setdefault(
+        "scenario_factory", _scenario_permanent_transient(seed_base)
+    )
+    return _run_panel(**kwargs)
+
+
+def _run_panel(
+    bins: Sequence[Tuple[float, float]] = DEFAULT_BINS,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+    sets_per_bin: int = 20,
+    seed: int = 20200309,
+    scenario_factory: Optional[ScenarioFactory] = None,
+    generator_config: Optional[GeneratorConfig] = None,
+    horizon_cap_units: int = 2000,
+    tasksets_by_bin=None,
+) -> SweepResult:
+    return utilization_sweep(
+        bins=bins,
+        schemes=schemes,
+        scenario_factory=scenario_factory,
+        sets_per_bin=sets_per_bin,
+        generator_config=generator_config,
+        seed=seed,
+        horizon_cap_units=horizon_cap_units,
+        tasksets_by_bin=tasksets_by_bin,
+    )
+
+
+def figure6_series(
+    bins: Sequence[Tuple[float, float]] = DEFAULT_BINS,
+    sets_per_bin: int = 20,
+    seed: int = 20200309,
+    generator_config: Optional[GeneratorConfig] = None,
+    horizon_cap_units: int = 2000,
+    schemes: Sequence[str] = PAPER_SCHEMES,
+) -> Dict[str, SweepResult]:
+    """All three panels over one shared pool of task sets."""
+    tasksets = generate_binned_tasksets(
+        bins, sets_per_bin, generator_config, seed
+    )
+    shared = dict(
+        bins=bins,
+        schemes=schemes,
+        sets_per_bin=sets_per_bin,
+        horizon_cap_units=horizon_cap_units,
+        tasksets_by_bin=tasksets,
+    )
+    return {
+        "fig6a": fig6a(**shared),
+        "fig6b": fig6b(**shared),
+        "fig6c": fig6c(**shared),
+    }

@@ -1,0 +1,54 @@
+"""Plain-text tables mirroring the paper's figures as printable rows."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .sweep import SweepResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with per-column widths."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(sweep: SweepResult, title: str = "") -> str:
+    """One Figure 6 panel as a table of normalized energies per bin."""
+    headers = ["(m,k)-util bin", "sets"] + [
+        f"{scheme} (norm)" for scheme in sweep.schemes
+    ]
+    rows: List[List[str]] = []
+    for bucket in sweep.bins:
+        row = [bucket.label, str(bucket.taskset_count)]
+        for scheme in sweep.schemes:
+            row.append(f"{bucket.normalized_energy[scheme]:.3f}")
+        rows.append(row)
+    table = format_table(headers, rows)
+    footer_lines = []
+    for scheme in sweep.schemes:
+        if scheme == sweep.reference_scheme:
+            continue
+        for versus in sweep.schemes:
+            if versus == scheme:
+                continue
+            reduction = sweep.max_reduction(scheme, versus)
+            if reduction > 0:
+                footer_lines.append(
+                    f"max reduction {scheme} vs {versus}: {reduction:.1%}"
+                )
+    body = f"{title}\n{table}" if title else table
+    if footer_lines:
+        body += "\n" + "\n".join(footer_lines)
+    return body

@@ -1,0 +1,33 @@
+"""Small statistics helpers for the harness (stdlib only)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ConfigurationError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator); 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def confidence_interval95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95% CI of the mean."""
+    mu = mean(values)
+    if len(values) < 2:
+        return (mu, mu)
+    half = 1.96 * sample_std(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)

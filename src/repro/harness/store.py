@@ -1,0 +1,96 @@
+"""Persisting sweep results to JSON and reloading them for comparison.
+
+Long sweeps are expensive; a results store lets a user run the paper-
+fidelity configuration once, keep the numbers, and diff later runs (e.g.
+after changing a scheduler) against the stored reference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from .sweep import BinResult, SweepResult
+
+
+def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
+    """A JSON-serializable representation of a sweep result."""
+    return {
+        "schemes": list(sweep.schemes),
+        "reference_scheme": sweep.reference_scheme,
+        "bins": [
+            {
+                "range": list(bucket.bin_range),
+                "taskset_count": bucket.taskset_count,
+                "mean_energy": bucket.mean_energy,
+                "normalized_energy": bucket.normalized_energy,
+                "mk_violation_count": bucket.mk_violation_count,
+                "energy_ci95": {
+                    scheme: list(interval)
+                    for scheme, interval in bucket.energy_ci95.items()
+                },
+            }
+            for bucket in sweep.bins
+        ],
+    }
+
+
+def sweep_from_dict(payload: Dict[str, Any]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from :func:`sweep_to_dict` output."""
+    try:
+        sweep = SweepResult(
+            schemes=tuple(payload["schemes"]),
+            reference_scheme=payload["reference_scheme"],
+        )
+        for entry in payload["bins"]:
+            sweep.bins.append(
+                BinResult(
+                    bin_range=tuple(entry["range"]),
+                    taskset_count=int(entry["taskset_count"]),
+                    mean_energy=dict(entry["mean_energy"]),
+                    normalized_energy=dict(entry["normalized_energy"]),
+                    mk_violation_count=dict(entry["mk_violation_count"]),
+                    energy_ci95={
+                        scheme: tuple(interval)
+                        for scheme, interval in entry.get(
+                            "energy_ci95", {}
+                        ).items()
+                    },
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed sweep document: {exc}") from exc
+    return sweep
+
+
+def save_sweep(sweep: SweepResult, path: str) -> None:
+    """Write a sweep result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_to_dict(sweep), handle, indent=2)
+
+
+def load_sweep(path: str) -> SweepResult:
+    """Load a sweep result from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return sweep_from_dict(json.load(handle))
+
+
+def compare_sweeps(
+    reference: SweepResult, candidate: SweepResult, scheme: str
+) -> List[Tuple[str, float, float, float]]:
+    """Bin-by-bin normalized-energy comparison of one scheme.
+
+    Returns rows ``(bin label, reference, candidate, delta)`` for every
+    bin present in both sweeps.
+    """
+    reference_bins = {b.bin_range: b for b in reference.bins}
+    rows: List[Tuple[str, float, float, float]] = []
+    for bucket in candidate.bins:
+        other = reference_bins.get(bucket.bin_range)
+        if other is None or scheme not in other.normalized_energy:
+            continue
+        before = other.normalized_energy[scheme]
+        after = bucket.normalized_energy[scheme]
+        rows.append((bucket.label, before, after, after - before))
+    return rows

@@ -1,0 +1,29 @@
+"""Task, job, and (m,k)-constraint model layer.
+
+This package contains the pure data model of the paper's system: periodic
+tasks with (m,k)-firm deadline constraints, their jobs, static
+mandatory/optional partitioning patterns, and the runtime outcome history
+from which flexibility degrees are computed.
+"""
+
+from .mk import MKConstraint
+from .task import Task
+from .taskset import TaskSet
+from .job import Job, JobOutcome, JobRole
+from .patterns import EPattern, Pattern, RPattern, RotatedPattern
+from .history import MKHistory, flexibility_degree
+
+__all__ = [
+    "MKConstraint",
+    "Task",
+    "TaskSet",
+    "Job",
+    "JobRole",
+    "JobOutcome",
+    "Pattern",
+    "RPattern",
+    "EPattern",
+    "RotatedPattern",
+    "MKHistory",
+    "flexibility_degree",
+]

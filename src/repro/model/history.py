@@ -1,0 +1,154 @@
+"""(m,k) outcome histories and the flexibility degree (Definition 1).
+
+The *flexibility degree* FD(J_i) of an upcoming job J_i is the number of
+consecutive deadline misses task τ_i can still tolerate starting from J_i
+without violating its (m,k)-constraint, given the outcomes of the most
+recent k_i - 1 jobs.
+
+Derivation used here (matching the paper's worked traces): let
+``h = (h_1, ..., h_{k-1})`` be the last k-1 outcomes, oldest first, with
+1 = effective.  Suppose the next d jobs all miss.  For t = 1..d the window
+of k consecutive jobs ending at the t-th future job consists of the last
+``k - t`` history entries plus t misses, so it holds iff the last ``k - t``
+history entries contain at least m ones.  Hence::
+
+    FD = max { d >= 0 : for all 1 <= t <= d,
+               ones(last k - t entries of h) >= m }
+
+The paper's examples fix the boundary condition: *before time zero every
+job is assumed to have met its deadline* (an empty system has its full
+slack), so the history is initialized to all ones.  With an all-zero
+initialization FD would reduce to the R-pattern's classification instead;
+:class:`MKHistory` supports both via ``initial_met``.
+
+FD = 0 means the job is *mandatory* (one more miss violates the
+constraint); the selective scheme picks exactly the FD = 1 optional jobs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Sequence
+
+from ..errors import ModelError
+from .mk import MKConstraint
+
+
+def flexibility_degree(history: Sequence[bool], mk: MKConstraint) -> int:
+    """Flexibility degree of the next job given the last k-1 outcomes.
+
+    Args:
+        history: outcomes of the previous jobs, oldest first.  Only the
+            last ``k - 1`` entries matter; shorter histories are padded on
+            the *old* side with successes (the paper's boundary condition).
+        mk: the task's (m,k)-constraint.
+
+    Returns:
+        The largest number of consecutive misses, starting with the next
+        job, that keeps every k-window at >= m successes.  Always in
+        ``[0, k - m]``.
+    """
+    k, m = mk.k, mk.m
+    window: "list[int]" = [1] * (k - 1)
+    tail = list(history[-(k - 1):]) if k > 1 else []
+    if tail:
+        window[-len(tail):] = [int(bool(flag)) for flag in tail]
+    # ones_from[t] = number of ones among the last (k - 1) - (t - 1) entries,
+    # i.e. the history part of the window ending at the t-th future miss.
+    degree = 0
+    ones = sum(window)
+    for t in range(1, k - m + 1):
+        # Window ending at future job t: last (k - t) history entries + t
+        # misses.  Entries dropped from the old side: t - 1 of them.
+        if t - 1 >= 1:
+            ones -= window[t - 2]
+        if ones >= m:
+            degree = t
+        else:
+            break
+    return degree
+
+
+class MKHistory:
+    """Sliding outcome window for one task, with FD queries.
+
+    Records the success/miss outcome of each job as it is decided and
+    answers :meth:`flexibility_degree` for the next upcoming job in
+    O(k) time.
+
+    Args:
+        mk: the task's (m,k)-constraint.
+        initial_met: boundary condition for jobs "before time zero".
+            ``True`` (default) matches the paper's dynamic schemes;
+            ``False`` reproduces the R-pattern's deeply-red pessimism.
+    """
+
+    __slots__ = ("mk", "_window", "_recorded", "_misses")
+
+    def __init__(self, mk: MKConstraint, initial_met: bool = True) -> None:
+        if not isinstance(mk, MKConstraint):
+            raise ModelError(f"mk must be an MKConstraint, got {mk!r}")
+        self.mk = mk
+        depth = max(mk.k - 1, 0)
+        self._window: Deque[bool] = deque(
+            [bool(initial_met)] * depth, maxlen=depth or None
+        )
+        if depth == 0:
+            self._window = deque([], maxlen=1)
+            self._window.clear()
+        self._recorded = 0
+        self._misses = 0
+
+    @property
+    def recorded(self) -> int:
+        """Total number of outcomes recorded so far."""
+        return self._recorded
+
+    @property
+    def misses(self) -> int:
+        """Total number of misses recorded so far."""
+        return self._misses
+
+    def record(self, effective: bool) -> None:
+        """Append the outcome of the most recently decided job."""
+        if self.mk.k > 1:
+            self._window.append(bool(effective))
+        self._recorded += 1
+        if not effective:
+            self._misses += 1
+
+    def outcomes(self) -> "tuple[bool, ...]":
+        """The retained window of recent outcomes, oldest first."""
+        return tuple(self._window)
+
+    def flexibility_degree(self) -> int:
+        """FD of the *next* job of this task (Definition 1)."""
+        return flexibility_degree(tuple(self._window), self.mk)
+
+    def next_is_mandatory(self) -> bool:
+        """True when the next job must execute (FD == 0)."""
+        return self.flexibility_degree() == 0
+
+    def would_violate(self, upcoming: Iterable[bool]) -> bool:
+        """Whether appending ``upcoming`` outcomes would break the constraint.
+
+        Used by the QoS monitor for lookahead checks; does not mutate.
+        """
+        bits = [int(flag) for flag in self._window] + [
+            int(bool(flag)) for flag in upcoming
+        ]
+        k, m = self.mk.k, self.mk.m
+        if len(bits) < k:
+            return False
+        window = sum(bits[:k])
+        if window < m:
+            return True
+        for j in range(k, len(bits)):
+            window += bits[j] - bits[j - k]
+            if window < m:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        shown = "".join("1" if flag else "0" for flag in self._window)
+        return f"MKHistory(mk={self.mk}, window='{shown}')"

@@ -1,0 +1,161 @@
+"""Runtime job instances.
+
+A *logical job* J_ij is the j-th instance of task τ_i.  Under
+standby-sparing a mandatory logical job materializes as two *copies* -- a
+main copy on the primary processor and a backup copy on the spare -- while
+an optional job materializes as a single copy on whichever processor the
+policy selects.  :class:`Job` models one copy; the simulator links the two
+copies of a mandatory job through :attr:`Job.sibling`.
+
+Jobs live on the integer tick grid of the simulation (see
+:mod:`repro.timebase`); the model layer's rational quantities are compiled
+down before any ``Job`` exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..errors import ModelError
+
+
+class JobRole(enum.Enum):
+    """What a job copy is, in standby-sparing terms."""
+
+    MAIN = "main"          #: mandatory job's primary-processor copy
+    BACKUP = "backup"      #: mandatory job's spare-processor copy
+    OPTIONAL = "optional"  #: optional job (single copy, no backup)
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of one job copy inside the simulator."""
+
+    PENDING = "pending"        #: released but not yet enqueued (postponed)
+    READY = "ready"            #: in a ready queue, may be preempted-resumed
+    RUNNING = "running"        #: currently executing
+    COMPLETED = "completed"    #: ran to completion (may still have faulted)
+    CANCELED = "canceled"      #: backup canceled because its main succeeded
+    ABANDONED = "abandoned"    #: optional dropped (infeasible or policy skip)
+    LOST = "lost"              #: copy destroyed by a permanent processor fault
+
+
+class JobOutcome(enum.Enum):
+    """Outcome of a *logical* job with respect to the (m,k) constraint."""
+
+    EFFECTIVE = "effective"  #: counted as a success ("1" in the window)
+    MISSED = "missed"        #: counted as a miss ("0" in the window)
+
+
+class Job:
+    """One schedulable copy of a logical job, in tick time.
+
+    Attributes:
+        task_index: priority index of the owning task (0 = highest).
+        job_index: 1-based instance number j of J_ij.
+        role: main / backup / optional.
+        release: nominal release time r_ij in ticks.
+        enqueue_time: time this copy becomes ready (release + postponement).
+        deadline: absolute deadline d_ij in ticks.
+        wcet: execution budget c_ij in ticks.
+        remaining: ticks of execution still owed.
+        status: copy lifecycle state.
+        faulted: True when a transient fault will be detected at completion.
+        sibling: the other copy of the same mandatory logical job, if any.
+        processor: index of the processor this copy is bound to.
+    """
+
+    __slots__ = (
+        "task_index",
+        "job_index",
+        "role",
+        "release",
+        "enqueue_time",
+        "deadline",
+        "wcet",
+        "remaining",
+        "status",
+        "faulted",
+        "sibling",
+        "processor",
+        "completion_time",
+        "started_at",
+        "name",
+    )
+
+    def __init__(
+        self,
+        task_index: int,
+        job_index: int,
+        role: JobRole,
+        release: int,
+        deadline: int,
+        wcet: int,
+        processor: int,
+        enqueue_time: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        if wcet <= 0:
+            raise ModelError(f"job wcet must be positive ticks, got {wcet}")
+        if deadline < release:
+            raise ModelError(
+                f"deadline {deadline} precedes release {release} for job "
+                f"({task_index},{job_index})"
+            )
+        self.task_index = task_index
+        self.job_index = job_index
+        self.role = role
+        self.release = release
+        self.enqueue_time = release if enqueue_time is None else enqueue_time
+        self.deadline = deadline
+        self.wcet = wcet
+        self.remaining = wcet
+        self.status = JobStatus.PENDING
+        self.faulted = False
+        self.sibling: Optional[Job] = None
+        self.processor = processor
+        self.completion_time: Optional[int] = None
+        self.started_at: Optional[int] = None
+        self.name = name or f"J{task_index + 1},{job_index}"
+
+    @property
+    def executed(self) -> int:
+        """Ticks of execution already consumed by this copy."""
+        return self.wcet - self.remaining
+
+    @property
+    def is_finished(self) -> bool:
+        """True when this copy will never execute again."""
+        return self.status in (
+            JobStatus.COMPLETED,
+            JobStatus.CANCELED,
+            JobStatus.ABANDONED,
+            JobStatus.LOST,
+        )
+
+    def can_finish_by_deadline(self, now: int) -> bool:
+        """Whether the remaining budget fits before the deadline from ``now``.
+
+        This is a *best-case* (no interference) feasibility check used to
+        skip optional jobs that have no chance -- the paper drops O11 in
+        Figure 2 on exactly this ground.
+        """
+        return now + self.remaining <= self.deadline
+
+    def link_backup(self, backup: "Job") -> None:
+        """Associate a mandatory main copy with its backup copy."""
+        if self.role is not JobRole.MAIN or backup.role is not JobRole.BACKUP:
+            raise ModelError("link_backup requires a MAIN copy and a BACKUP copy")
+        self.sibling = backup
+        backup.sibling = self
+
+    def key(self) -> "tuple[int, int]":
+        """Identity of the logical job: (task_index, job_index)."""
+        return (self.task_index, self.job_index)
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.name}, role={self.role.value}, r={self.release}, "
+            f"d={self.deadline}, c={self.wcet}, rem={self.remaining}, "
+            f"status={self.status.value}, proc={self.processor})"
+        )

@@ -1,0 +1,78 @@
+"""(m,k)-firm deadline constraints.
+
+An (m,k)-constraint requires that among any ``k`` consecutive jobs of a
+task, at least ``m`` complete successfully by their deadlines (Hamdaoui &
+Ramanathan, 1995).  ``0 < m < k`` in this paper's model: ``m == k`` would be
+a hard task (no optional jobs to exploit) and ``m == 0`` no constraint at
+all; both are rejected by default but ``m == k`` can be permitted for hard
+tasks via ``allow_hard=True`` since the schedulers degrade gracefully to
+that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class MKConstraint:
+    """An (m,k)-firm constraint: >= m successes in any k consecutive jobs.
+
+    Attributes:
+        m: minimum number of jobs meeting their deadline per window.
+        k: window length in jobs.
+    """
+
+    m: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.m, int) or not isinstance(self.k, int):
+            raise ModelError(f"(m,k) must be integers, got ({self.m!r},{self.k!r})")
+        if self.k < 1:
+            raise ModelError(f"k must be >= 1, got {self.k}")
+        if not 0 < self.m <= self.k:
+            raise ModelError(f"(m,k) requires 0 < m <= k, got ({self.m},{self.k})")
+
+    @property
+    def is_hard(self) -> bool:
+        """True when every job is mandatory (m == k)."""
+        return self.m == self.k
+
+    @property
+    def max_consecutive_misses(self) -> int:
+        """Upper bound on the flexibility degree: k - m."""
+        return self.k - self.m
+
+    def is_satisfied_by(self, outcomes: "list[bool] | tuple[bool, ...]") -> bool:
+        """Check a full outcome sequence against the constraint.
+
+        Args:
+            outcomes: per-job success flags in release order.
+
+        Returns:
+            True iff every window of ``k`` consecutive outcomes contains at
+            least ``m`` successes.  Windows are only evaluated once the
+            sequence is at least ``k`` long, matching the "any k consecutive
+            jobs" definition; shorter prefixes cannot violate it.
+        """
+        n = len(outcomes)
+        if n < self.k:
+            # A prefix shorter than one window can always be extended into a
+            # satisfying sequence only if it has at most k - m misses so
+            # far *in a row* at the tail -- but the classic definition only
+            # constrains complete windows, so short sequences pass.
+            return True
+        window = sum(1 for flag in outcomes[: self.k] if flag)
+        if window < self.m:
+            return False
+        for j in range(self.k, n):
+            window += int(outcomes[j]) - int(outcomes[j - self.k])
+            if window < self.m:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return f"({self.m},{self.k})"

@@ -1,0 +1,119 @@
+"""Periodic tasks with (m,k)-firm constraints.
+
+A task follows the paper's five-tuple ``(P, D, C, m, k)``: period, relative
+(constrained) deadline ``D <= P``, worst-case execution time, and the
+(m,k)-constraint.  Priorities are fixed and externally assigned through the
+task *index* inside a :class:`~repro.model.taskset.TaskSet` (lower index =
+higher priority), mirroring the paper's convention that τj has lower
+priority than τi when j > i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ModelError
+from ..timebase import TimeLike, as_fraction
+from .mk import MKConstraint
+
+
+@dataclass(frozen=True)
+class Task:
+    """One periodic task τ = (P, D, C, m, k).
+
+    Attributes:
+        period: inter-release separation P (model time units, e.g. ms).
+        deadline: relative deadline D, with 0 < C <= D <= P.
+        wcet: worst-case execution time C.
+        mk: the (m,k)-firm constraint.
+        name: optional human-readable label used in traces and Gantt charts.
+    """
+
+    period: Fraction
+    deadline: Fraction
+    wcet: Fraction
+    mk: MKConstraint
+    name: str = ""
+
+    def __init__(
+        self,
+        period: TimeLike,
+        deadline: TimeLike,
+        wcet: TimeLike,
+        m: "int | MKConstraint",
+        k: "int | None" = None,
+        name: str = "",
+    ) -> None:
+        """Build a task from paper-style parameters.
+
+        Accepts either ``Task(P, D, C, MKConstraint(m, k))`` or the
+        positional paper tuple ``Task(P, D, C, m, k)``.
+        """
+        if isinstance(m, MKConstraint):
+            if k is not None:
+                raise ModelError("pass either an MKConstraint or (m, k), not both")
+            constraint = m
+        else:
+            if k is None:
+                raise ModelError("k is required when m is an int")
+            constraint = MKConstraint(m, k)
+        period_f = as_fraction(period)
+        deadline_f = as_fraction(deadline)
+        wcet_f = as_fraction(wcet)
+        if period_f <= 0:
+            raise ModelError(f"period must be positive, got {period_f}")
+        if not 0 < wcet_f <= deadline_f:
+            raise ModelError(
+                f"wcet must satisfy 0 < C <= D, got C={wcet_f}, D={deadline_f}"
+            )
+        if deadline_f > period_f:
+            raise ModelError(
+                f"constrained deadlines required: D={deadline_f} > P={period_f}"
+            )
+        object.__setattr__(self, "period", period_f)
+        object.__setattr__(self, "deadline", deadline_f)
+        object.__setattr__(self, "wcet", wcet_f)
+        object.__setattr__(self, "mk", constraint)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def m(self) -> int:
+        """Shorthand for the constraint's m."""
+        return self.mk.m
+
+    @property
+    def k(self) -> int:
+        """Shorthand for the constraint's k."""
+        return self.mk.k
+
+    @property
+    def utilization(self) -> Fraction:
+        """Classic utilization C / P."""
+        return self.wcet / self.period
+
+    @property
+    def mk_utilization(self) -> Fraction:
+        """(m,k)-utilization m*C / (k*P), the paper's workload metric."""
+        return Fraction(self.mk.m, self.mk.k) * self.wcet / self.period
+
+    def release_time(self, job_index: int) -> Fraction:
+        """Release time of the ``job_index``-th job (1-based, synchronous)."""
+        if job_index < 1:
+            raise ModelError(f"job indices are 1-based, got {job_index}")
+        return (job_index - 1) * self.period
+
+    def absolute_deadline(self, job_index: int) -> Fraction:
+        """Absolute deadline of the ``job_index``-th job (1-based)."""
+        return self.release_time(job_index) + self.deadline
+
+    def paper_tuple(self) -> tuple:
+        """The (P, D, C, m, k) tuple as printed in the paper."""
+        return (self.period, self.deadline, self.wcet, self.mk.m, self.mk.k)
+
+    def __str__(self) -> str:
+        label = self.name or "task"
+        return (
+            f"{label}(P={self.period}, D={self.deadline}, C={self.wcet}, "
+            f"m={self.mk.m}, k={self.mk.k})"
+        )

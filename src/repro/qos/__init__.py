@@ -1,0 +1,17 @@
+"""QoS monitoring: (m,k)-constraint verification and miss statistics."""
+
+from .monitor import MKMonitor, MKViolation, verify_mk
+from .metrics import QoSMetrics, collect_metrics
+from .timeline import TaskTimeline, all_timelines, render_timelines, task_timeline
+
+__all__ = [
+    "MKMonitor",
+    "MKViolation",
+    "verify_mk",
+    "QoSMetrics",
+    "collect_metrics",
+    "TaskTimeline",
+    "task_timeline",
+    "all_timelines",
+    "render_timelines",
+]

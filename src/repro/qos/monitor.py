@@ -1,0 +1,80 @@
+"""(m,k)-constraint verification over simulation results.
+
+The engine records an outcome for every released logical job; this module
+replays those outcomes through sliding windows and reports every violated
+window -- the *dynamic failures* of the (m,k) literature -- rather than
+just a boolean, so tests and benches can localize exactly where a scheme
+went wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..model.mk import MKConstraint
+from ..sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class MKViolation:
+    """One violated window of a task's (m,k)-constraint.
+
+    Attributes:
+        task_index: the violating task.
+        window_end_job: 1-based index of the last job in the bad window.
+        successes: successes observed in that window (< m).
+    """
+
+    task_index: int
+    window_end_job: int
+    successes: int
+
+
+class MKMonitor:
+    """Streams job outcomes and detects (m,k) violations online."""
+
+    def __init__(self, mk: MKConstraint) -> None:
+        self.mk = mk
+        self._outcomes: List[bool] = []
+        self.violations: List[MKViolation] = []
+
+    def record(self, effective: bool, task_index: int = 0) -> None:
+        """Record the next job's outcome; logs a violation if one closes."""
+        self._outcomes.append(bool(effective))
+        n = len(self._outcomes)
+        if n >= self.mk.k:
+            window = self._outcomes[n - self.mk.k :]
+            successes = sum(window)
+            if successes < self.mk.m:
+                self.violations.append(
+                    MKViolation(
+                        task_index=task_index,
+                        window_end_job=n,
+                        successes=successes,
+                    )
+                )
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.violations
+
+    @property
+    def outcomes(self) -> Sequence[bool]:
+        return tuple(self._outcomes)
+
+
+def verify_mk(result: SimulationResult) -> List[MKViolation]:
+    """All (m,k) violations of a simulation run, across tasks.
+
+    Only *complete* jobs are judged: the trailing jobs whose deadlines fall
+    beyond the horizon are still recorded by the engine (their deadline
+    events drain), so the outcome list is complete by construction.
+    """
+    violations: List[MKViolation] = []
+    for index, task in enumerate(result.taskset):
+        monitor = MKMonitor(task.mk)
+        for effective in result.trace.outcomes_for_task(index):
+            monitor.record(effective, task_index=index)
+        violations.extend(monitor.violations)
+    return violations

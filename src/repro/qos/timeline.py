@@ -1,0 +1,108 @@
+"""Per-task QoS timelines: outcome strings, window health, urgency traces.
+
+Debugging aid and reporting surface: renders each task's job outcomes as
+a compact string (``"1101..."``), computes the per-window success counts,
+and reconstructs the flexibility-degree trajectory the schedulers saw --
+useful when staring at why a scheme selected or skipped a particular job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..model.history import MKHistory
+from ..model.mk import MKConstraint
+from ..sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class TaskTimeline:
+    """One task's QoS trajectory over a run.
+
+    Attributes:
+        task_index: the task.
+        outcomes: per-job success flags in release order.
+        flexibility_degrees: FD of each job at its release (reconstructed
+            with the engine's boundary condition, all-met history).
+        window_successes: successes in the k-window ending at each job
+            (only defined from job k onward; earlier entries are None).
+        worst_window: the minimum over defined window success counts
+            (equals or exceeds m iff the constraint held).
+    """
+
+    task_index: int
+    mk: MKConstraint
+    outcomes: List[bool]
+    flexibility_degrees: List[int]
+    window_successes: List["int | None"]
+
+    @property
+    def worst_window(self) -> "int | None":
+        defined = [w for w in self.window_successes if w is not None]
+        return min(defined) if defined else None
+
+    @property
+    def satisfied(self) -> bool:
+        worst = self.worst_window
+        return worst is None or worst >= self.mk.m
+
+    def outcome_string(self) -> str:
+        """Outcomes as '1'/'0' digits, e.g. '110110'."""
+        return "".join("1" if flag else "0" for flag in self.outcomes)
+
+    def render(self) -> str:
+        """A multi-line human-readable summary."""
+        lines = [
+            f"task {self.task_index + 1} {self.mk}: "
+            f"{self.outcome_string() or '(no jobs)'}",
+            f"  FDs at release: {self.flexibility_degrees}",
+        ]
+        worst = self.worst_window
+        if worst is not None:
+            verdict = "OK" if self.satisfied else "VIOLATED"
+            lines.append(
+                f"  worst window: {worst}/{self.mk.k} successes "
+                f"(need {self.mk.m}) -> {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def task_timeline(result: SimulationResult, task_index: int) -> TaskTimeline:
+    """Build one task's timeline from a simulation result."""
+    task = result.taskset[task_index]
+    outcomes = result.trace.outcomes_for_task(task_index)
+    history = MKHistory(task.mk)
+    flexibility_degrees: List[int] = []
+    for outcome in outcomes:
+        flexibility_degrees.append(history.flexibility_degree())
+        history.record(outcome)
+    window_successes: List["int | None"] = []
+    for end in range(len(outcomes)):
+        if end + 1 < task.mk.k:
+            window_successes.append(None)
+        else:
+            window = outcomes[end + 1 - task.mk.k : end + 1]
+            window_successes.append(sum(window))
+    return TaskTimeline(
+        task_index=task_index,
+        mk=task.mk,
+        outcomes=list(outcomes),
+        flexibility_degrees=flexibility_degrees,
+        window_successes=window_successes,
+    )
+
+
+def all_timelines(result: SimulationResult) -> Dict[int, TaskTimeline]:
+    """Timelines for every task of a run."""
+    return {
+        index: task_timeline(result, index)
+        for index in range(len(result.taskset))
+    }
+
+
+def render_timelines(result: SimulationResult) -> str:
+    """All tasks' timelines as one report string."""
+    return "\n".join(
+        timeline.render() for timeline in all_timelines(result).values()
+    )

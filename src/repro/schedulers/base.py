@@ -1,0 +1,51 @@
+"""Shared helpers for building and running scheduling policies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.scenario import FaultScenario
+from ..model.taskset import TaskSet
+from ..sim.engine import (
+    SchedulingPolicy,
+    SimulationResult,
+    StandbySparingEngine,
+)
+from ..timebase import TimeBase
+
+
+def run_policy(
+    taskset: TaskSet,
+    policy: SchedulingPolicy,
+    horizon_ticks: int,
+    timebase: Optional[TimeBase] = None,
+    scenario: Optional[FaultScenario] = None,
+    execution_time_fn=None,
+) -> SimulationResult:
+    """Simulate one policy over one task set under a fault scenario.
+
+    This is the one-stop entry point the examples and the harness use:
+    it materializes the scenario's fault oracles, builds the engine, and
+    runs it.
+
+    Args:
+        taskset: tasks in priority order.
+        policy: a fresh policy instance (policies hold per-run state such
+            as alternation toggles; do not reuse across runs).
+        horizon_ticks: releases strictly before this tick are simulated.
+        timebase: tick grid (defaults to the task set's own).
+        scenario: fault scenario; defaults to fault-free.
+    """
+    base = timebase or taskset.timebase()
+    fault_scenario = scenario or FaultScenario.none()
+    transient, permanent = fault_scenario.materialize(horizon_ticks, base)
+    engine = StandbySparingEngine(
+        taskset=taskset,
+        policy=policy,
+        horizon_ticks=horizon_ticks,
+        timebase=base,
+        transient_fault_fn=transient,
+        permanent_fault=permanent,
+        execution_time_fn=execution_time_fn,
+    )
+    return engine.run()

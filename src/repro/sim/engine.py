@@ -1,0 +1,606 @@
+"""The dual-processor standby-sparing discrete-event engine.
+
+One engine serves every scheme in the paper; what differs between
+MKSS-ST, MKSS-DP, the greedy scheme, and MKSS-Selective is *policy*:
+how a released job is classified (statically by pattern or dynamically by
+flexibility degree), which processor each copy goes to, and how much each
+backup release is postponed.  Policies express exactly that through
+:meth:`SchedulingPolicy.plan_release`; the engine owns everything else:
+
+* per-processor mandatory (MJQ) and optional (OJQ) ready queues, with the
+  MJQ strictly above the OJQ (Algorithm 1, lines 2-9);
+* preemptive fixed-priority dispatch inside each queue (optional jobs are
+  ordered by (flexibility degree, task priority) -- the paper's
+  "more flexible = less urgent" footnote);
+* dropping optional jobs that can no longer finish by their deadline
+  (Figure 2's O11);
+* backup cancellation the instant the sibling copy completes successfully;
+* transient-fault detection at completion and permanent-fault takeover;
+* outcome recording and (m,k)-history maintenance, so flexibility degrees
+  evolve exactly as in the paper's traces.
+
+All times are integer ticks (see :mod:`repro.timebase`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SimulationError
+from ..model.history import MKHistory
+from ..model.job import Job, JobOutcome, JobRole, JobStatus
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .queues import ReadyQueue
+from .trace import ExecutionTrace, LogicalJobRecord
+
+#: Conventional processor indices.
+PRIMARY = 0
+SPARE = 1
+
+# Event ordering at equal ticks: permanent faults strike first, then
+# deadlines are judged, then new jobs arrive, then postponed copies enqueue.
+_EV_PERMFAULT = 0
+_EV_DEADLINE = 1
+_EV_RELEASE = 2
+_EV_ENQUEUE = 3
+
+
+@dataclass(frozen=True)
+class CopySpec:
+    """One copy the policy wants to create for a released logical job."""
+
+    role: JobRole
+    processor: int
+    enqueue_tick: int
+
+
+@dataclass(frozen=True)
+class ReleasePlan:
+    """Policy verdict for one released logical job.
+
+    Attributes:
+        copies: the copies to instantiate (empty = the job is skipped).
+        classified_as: "mandatory" / "optional" / "skipped" for reporting.
+    """
+
+    copies: Tuple[CopySpec, ...]
+    classified_as: str
+
+    @classmethod
+    def skip(cls) -> "ReleasePlan":
+        return cls(copies=(), classified_as="skipped")
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult when planning a release."""
+
+    taskset: TaskSet
+    timebase: TimeBase
+    horizon_ticks: int
+    histories: Sequence[MKHistory]
+    dead_processor: Optional[int] = None
+
+    @property
+    def fault_mode(self) -> bool:
+        """True once a permanent fault has removed one processor."""
+        return self.dead_processor is not None
+
+    def surviving_processor(self) -> int:
+        """The processor still alive after a permanent fault."""
+        if self.dead_processor is None:
+            raise SimulationError("no permanent fault has occurred")
+        return SPARE if self.dead_processor == PRIMARY else PRIMARY
+
+
+class SchedulingPolicy:
+    """Base class for standby-sparing scheduling policies.
+
+    Subclasses must implement :meth:`plan_release`; the other hooks have
+    sensible defaults.
+
+    Attributes:
+        optional_preemption: when True (default) a more urgent optional
+            job preempts a running optional job; when False a dispatched
+            optional runs to completion unless a *mandatory* job arrives
+            (the paper's greedy trace in Figure 3 behaves this way --
+            O12 is never started because O22 holds the processor).
+            Mandatory jobs always preempt optional ones either way.
+    """
+
+    name = "abstract"
+    optional_preemption = True
+
+    def prepare(self, ctx: PolicyContext) -> None:
+        """One-time offline analysis before the simulation starts."""
+
+    def plan_release(
+        self,
+        ctx: PolicyContext,
+        task_index: int,
+        job_index: int,
+        release: int,
+        deadline: int,
+        fd: int,
+    ) -> ReleasePlan:
+        """Classify a released logical job and emit its copies."""
+        raise NotImplementedError
+
+    def on_permanent_fault(self, ctx: PolicyContext, dead_processor: int) -> None:
+        """React to a permanent processor fault (optional)."""
+
+    def plan_recovery(
+        self, ctx: PolicyContext, job: "Job", now: int
+    ) -> Optional[CopySpec]:
+        """Optionally schedule a recovery copy for a transiently faulted job.
+
+        Called when a copy completes with a detected transient fault and
+        the logical job is still undecided.  Returning a
+        :class:`CopySpec` creates a fresh copy of the same logical job
+        (software re-execution, the redundancy style of Zhu et al. that
+        the paper's introduction contrasts with standby-sparing);
+        returning None (default) leaves recovery to the sibling backup.
+        """
+        return None
+
+
+TransientFaultFn = Callable[[Job, int], bool]
+"""Callable deciding whether a completing copy suffered a transient fault.
+
+Receives the job copy and the completion tick; returns True on fault.
+"""
+
+ExecutionTimeFn = Callable[[int, int, int], int]
+"""Callable giving a logical job's *actual* execution time in ticks.
+
+Receives (task_index, job_index, wcet_ticks); must return a value in
+[1, wcet_ticks].  Both copies of a mandatory job share the actual time
+(same input, same computation).  None means "always WCET", the paper's
+assumption.
+"""
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable about one simulation run."""
+
+    taskset: TaskSet
+    timebase: TimeBase
+    horizon_ticks: int
+    policy_name: str
+    trace: ExecutionTrace
+    permanent_fault: Optional[Tuple[int, int]] = None  # (processor, tick)
+    transient_fault_count: int = 0
+    released_jobs: int = 0
+
+    def mk_satisfied(self) -> List[bool]:
+        """Per-task verdict: did every k-window keep >= m successes?"""
+        verdicts = []
+        for index, task in enumerate(self.taskset):
+            outcomes = self.trace.outcomes_for_task(index)
+            verdicts.append(task.mk.is_satisfied_by(outcomes))
+        return verdicts
+
+    def all_mk_satisfied(self) -> bool:
+        """True when no task violated its (m,k)-constraint."""
+        return all(self.mk_satisfied())
+
+    def busy_ticks(self, processor: Optional[int] = None) -> int:
+        """Execution ticks inside [0, horizon)."""
+        return self.trace.busy_ticks(processor, window=(0, self.horizon_ticks))
+
+
+class _LogicalJob:
+    """Engine-internal bookkeeping for one logical job."""
+
+    __slots__ = ("record", "copies", "decided")
+
+    def __init__(self, record: LogicalJobRecord) -> None:
+        self.record = record
+        self.copies: List[Job] = []
+        self.decided = False
+
+
+class StandbySparingEngine:
+    """Simulates one policy over one task set on two processors."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        policy: SchedulingPolicy,
+        horizon_ticks: int,
+        timebase: Optional[TimeBase] = None,
+        transient_fault_fn: Optional[TransientFaultFn] = None,
+        permanent_fault: Optional[Tuple[int, int]] = None,
+        initial_history_met: bool = True,
+        execution_time_fn: Optional[ExecutionTimeFn] = None,
+    ) -> None:
+        """Configure a run.
+
+        Args:
+            taskset: tasks in priority order.
+            policy: the scheduling policy under test.
+            horizon_ticks: releases strictly before this tick are simulated;
+                energy metrics are taken over [0, horizon).
+            timebase: tick grid (defaults to the task set's own).
+            transient_fault_fn: per-copy fault oracle, or None for no
+                transient faults.
+            permanent_fault: optional (processor, tick) permanent fault.
+            initial_history_met: boundary condition for (m,k)-histories.
+            execution_time_fn: actual execution time model (ACET < WCET);
+                None charges every job its full WCET (the paper's model).
+        """
+        if horizon_ticks <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon_ticks}")
+        self.taskset = taskset
+        self.policy = policy
+        self.timebase = timebase or taskset.timebase()
+        self.horizon = horizon_ticks
+        self.transient_fault_fn = transient_fault_fn
+        self.permanent_fault = permanent_fault
+        if permanent_fault is not None:
+            processor, tick = permanent_fault
+            if processor not in (PRIMARY, SPARE):
+                raise ConfigurationError(f"bad processor {processor} in fault spec")
+            if tick < 0:
+                raise ConfigurationError(f"fault tick must be >= 0, got {tick}")
+        self._initial_history_met = initial_history_met
+        self.execution_time_fn = execution_time_fn
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        base = self.timebase
+        taskset = self.taskset
+        histories = [
+            MKHistory(task.mk, initial_met=self._initial_history_met)
+            for task in taskset
+        ]
+        ctx = PolicyContext(
+            taskset=taskset,
+            timebase=base,
+            horizon_ticks=self.horizon,
+            histories=histories,
+        )
+        self.policy.prepare(ctx)
+
+        trace = ExecutionTrace(processor_count=2)
+        alive = [True, True]
+        mjq = [ReadyQueue(), ReadyQueue()]
+        ojq = [ReadyQueue(), ReadyQueue()]
+        logical: Dict[Tuple[int, int], _LogicalJob] = {}
+        ojq_keys: Dict[int, tuple] = {}  # id(job) -> OJQ key
+        periods = [base.to_ticks(task.period) for task in taskset]
+        deadlines = [base.to_ticks(task.deadline) for task in taskset]
+        wcets = [base.to_ticks(task.wcet) for task in taskset]
+        transient_faults = 0
+        released_jobs = 0
+
+        heap: List[Tuple[int, int, int, tuple]] = []
+        seq = 0
+
+        def push_event(time: int, order: int, payload: tuple) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, order, seq, payload))
+            seq += 1
+
+        for index in range(len(taskset)):
+            push_event(0, _EV_RELEASE, ("release", index, 1))
+        if self.permanent_fault is not None:
+            processor, tick = self.permanent_fault
+            push_event(tick, _EV_PERMFAULT, ("permfault", processor))
+
+        # -- helpers bound to local state -----------------------------------
+
+        def decide(entry: _LogicalJob, effective: bool, now: int) -> None:
+            """Finalize a logical job's (m,k) outcome exactly once."""
+            if entry.decided:
+                return
+            entry.decided = True
+            entry.record.outcome = (
+                JobOutcome.EFFECTIVE if effective else JobOutcome.MISSED
+            )
+            entry.record.decided_at = now
+            histories[entry.record.task_index].record(effective)
+
+        def abandon_copy(job: Job, now: int, reason: str) -> None:
+            if job.is_finished:
+                return
+            job.status = JobStatus.ABANDONED
+            trace.log(now, "abandon", f"{job.name}/{job.role.value}: {reason}")
+
+        def cancel_copy(job: Job, now: int) -> None:
+            if job.is_finished:
+                return
+            job.status = JobStatus.CANCELED
+            trace.log(now, "cancel", f"{job.name}/{job.role.value}")
+
+        def enqueue_copy(job: Job, now: int) -> None:
+            if job.is_finished:
+                return
+            job.status = JobStatus.READY
+            if job.role is JobRole.OPTIONAL:
+                ojq[job.processor].push(ojq_keys[id(job)], job)
+            else:
+                mjq[job.processor].push((job.task_index, job.job_index), job)
+
+        def handle_completion(job: Job, now: int) -> None:
+            nonlocal transient_faults
+            job.status = JobStatus.COMPLETED
+            job.completion_time = now
+            faulted = bool(
+                self.transient_fault_fn and self.transient_fault_fn(job, now)
+            )
+            job.faulted = faulted
+            if faulted:
+                transient_faults += 1
+                trace.log(now, "transient-fault", f"{job.name}/{job.role.value}")
+            entry = logical[job.key()]
+            if faulted:
+                if not entry.decided:
+                    spec = self.policy.plan_recovery(ctx, job, now)
+                    if spec is not None:
+                        if not alive[spec.processor]:
+                            raise SimulationError(
+                                f"policy {self.policy.name} planned a "
+                                f"recovery onto dead processor {spec.processor}"
+                            )
+                        recovery = Job(
+                            task_index=job.task_index,
+                            job_index=job.job_index,
+                            role=spec.role,
+                            release=job.release,
+                            deadline=job.deadline,
+                            wcet=job.wcet,
+                            processor=spec.processor,
+                            enqueue_time=max(spec.enqueue_tick, now),
+                        )
+                        entry.copies.append(recovery)
+                        if spec.role is JobRole.OPTIONAL:
+                            ojq_keys[id(recovery)] = (
+                                entry.record.flexibility_degree or 0,
+                                job.task_index,
+                                job.job_index,
+                            )
+                        trace.log(
+                            now, "recovery", f"{job.name}/{job.role.value}"
+                        )
+                        if recovery.enqueue_time <= now:
+                            enqueue_copy(recovery, now)
+                        else:
+                            push_event(
+                                recovery.enqueue_time,
+                                _EV_ENQUEUE,
+                                ("enqueue", recovery),
+                            )
+                    elif job.role is JobRole.OPTIONAL:
+                        # No backup and no recovery: the optional job is
+                        # simply not effective.  Decide immediately (the
+                        # deadline handler would reach the same verdict).
+                        decide(entry, effective=False, now=now)
+                return  # a faulted mandatory copy leaves its sibling running
+            if now <= job.deadline and not entry.decided:
+                decide(entry, effective=True, now=now)
+            if job.sibling is not None and not job.sibling.is_finished:
+                cancel_copy(job.sibling, now)
+
+        def handle_deadline(task_index: int, job_index: int, now: int) -> None:
+            entry = logical.get((task_index, job_index))
+            if entry is None:
+                raise SimulationError(
+                    f"deadline for unknown job ({task_index},{job_index})"
+                )
+            for job in entry.copies:
+                if not job.is_finished and job.status is not JobStatus.RUNNING:
+                    abandon_copy(job, now, "deadline passed")
+                elif job.status is JobStatus.RUNNING:
+                    abandon_copy(job, now, "deadline passed while running")
+            if not entry.decided:
+                decide(entry, effective=False, now=now)
+
+        def handle_release(task_index: int, job_index: int, now: int) -> None:
+            nonlocal released_jobs
+            release = (job_index - 1) * periods[task_index]
+            if release >= self.horizon:
+                return
+            deadline = release + deadlines[task_index]
+            fd = histories[task_index].flexibility_degree()
+            plan = self.policy.plan_release(
+                ctx, task_index, job_index, release, deadline, fd
+            )
+            record = LogicalJobRecord(
+                task_index=task_index,
+                job_index=job_index,
+                release=release,
+                deadline=deadline,
+                classified_as=plan.classified_as,
+                flexibility_degree=fd,
+            )
+            trace.records[(task_index, job_index)] = record
+            entry = _LogicalJob(record)
+            logical[(task_index, job_index)] = entry
+            released_jobs += 1
+
+            actual_wcet = wcets[task_index]
+            if self.execution_time_fn is not None and plan.copies:
+                actual_wcet = self.execution_time_fn(
+                    task_index, job_index, wcets[task_index]
+                )
+                if not 1 <= actual_wcet <= wcets[task_index]:
+                    raise SimulationError(
+                        f"execution_time_fn returned {actual_wcet} outside "
+                        f"[1, {wcets[task_index]}] for job "
+                        f"({task_index},{job_index})"
+                    )
+            main_copy: Optional[Job] = None
+            for spec in plan.copies:
+                if not alive[spec.processor]:
+                    # Planning onto a dead processor is a policy bug.
+                    raise SimulationError(
+                        f"policy {self.policy.name} planned a copy onto dead "
+                        f"processor {spec.processor}"
+                    )
+                job = Job(
+                    task_index=task_index,
+                    job_index=job_index,
+                    role=spec.role,
+                    release=release,
+                    deadline=deadline,
+                    wcet=actual_wcet,
+                    processor=spec.processor,
+                    enqueue_time=max(spec.enqueue_tick, release),
+                )
+                entry.copies.append(job)
+                if spec.role is JobRole.MAIN:
+                    main_copy = job
+                elif spec.role is JobRole.BACKUP:
+                    if main_copy is None:
+                        raise SimulationError(
+                            "a BACKUP copy requires a preceding MAIN copy"
+                        )
+                    main_copy.link_backup(job)
+                else:
+                    ojq_keys[id(job)] = (fd, task_index, job_index)
+                if job.enqueue_time <= now:
+                    enqueue_copy(job, now)
+                else:
+                    push_event(
+                        job.enqueue_time, _EV_ENQUEUE, ("enqueue", job)
+                    )
+            push_event(deadline, _EV_DEADLINE, ("deadline", task_index, job_index))
+            next_release = job_index * periods[task_index]
+            if next_release < self.horizon:
+                push_event(
+                    next_release, _EV_RELEASE, ("release", task_index, job_index + 1)
+                )
+
+        def handle_permfault(processor: int, now: int) -> None:
+            if not alive[processor]:
+                return
+            alive[processor] = False
+            ctx.dead_processor = processor
+            trace.log(now, "permanent-fault", f"processor {processor}")
+            for queue in (mjq[processor], ojq[processor]):
+                for job in queue.live_jobs():
+                    job.status = JobStatus.LOST
+            # PENDING copies bound to the dead processor (postponed backups
+            # not yet enqueued) are lost as well.
+            for entry in logical.values():
+                for job in entry.copies:
+                    if job.processor == processor and not job.is_finished:
+                        job.status = JobStatus.LOST
+            self.policy.on_permanent_fault(ctx, processor)
+
+        sticky: List[Optional[Job]] = [None, None]
+
+        def drop_infeasible_optional(job: Job, now: int) -> None:
+            abandon_copy(job, now, "cannot finish by deadline")
+            entry = logical[job.key()]
+            if not entry.decided:
+                decide(entry, effective=False, now=now)
+
+        def pick(processor: int, now: int) -> Optional[Job]:
+            top = mjq[processor].pop()
+            if top is not None:
+                return top[1]
+            held = sticky[processor]
+            if held is not None:
+                if held.is_finished:
+                    sticky[processor] = None
+                elif held.can_finish_by_deadline(now):
+                    return held
+                else:
+                    drop_infeasible_optional(held, now)
+                    sticky[processor] = None
+            while True:
+                candidate = ojq[processor].pop()
+                if candidate is None:
+                    return None
+                _, job = candidate
+                if job.can_finish_by_deadline(now):
+                    if not self.policy.optional_preemption:
+                        sticky[processor] = job
+                    return job
+                drop_infeasible_optional(job, now)
+
+        # -- main loop -------------------------------------------------------
+
+        now = 0
+        guard = 0
+        guard_limit = 10_000_000
+        while True:
+            guard += 1
+            if guard > guard_limit:
+                raise SimulationError("simulation did not terminate (guard hit)")
+            while heap and heap[0][0] <= now:
+                _, _, _, payload = heapq.heappop(heap)
+                kind = payload[0]
+                if kind == "release":
+                    handle_release(payload[1], payload[2], now)
+                elif kind == "deadline":
+                    handle_deadline(payload[1], payload[2], now)
+                elif kind == "enqueue":
+                    enqueue_copy(payload[1], now)
+                elif kind == "permfault":
+                    handle_permfault(payload[1], now)
+                else:  # pragma: no cover
+                    raise SimulationError(f"unknown event kind {kind!r}")
+
+            running: List[Job] = []
+            for processor in (PRIMARY, SPARE):
+                if not alive[processor]:
+                    continue
+                job = pick(processor, now)
+                if job is not None:
+                    job.status = JobStatus.RUNNING
+                    running.append(job)
+
+            next_heap_time = heap[0][0] if heap else None
+            next_completion = (
+                min(now + job.remaining for job in running) if running else None
+            )
+            if next_heap_time is None and next_completion is None:
+                break
+            candidates = [
+                t for t in (next_heap_time, next_completion) if t is not None
+            ]
+            next_time = min(candidates)
+            if next_time < now:  # pragma: no cover - heap is monotone
+                raise SimulationError("time went backwards")
+
+            if next_time > now:
+                for job in running:
+                    ran = min(job.remaining, next_time - now)
+                    if job.started_at is None:
+                        job.started_at = now
+                    trace.add_segment(job.processor, now, now + ran, job)
+                    job.remaining -= ran
+            completed = [job for job in running if job.remaining == 0]
+            for job in running:
+                if job.remaining > 0 and job is not sticky[job.processor]:
+                    enqueue_copy(job, next_time)
+            for job in completed:
+                if job is sticky[job.processor]:
+                    sticky[job.processor] = None
+            now = next_time
+            # Primary-processor completions are processed first so a main
+            # copy's success cancels its just-finished backup's outcome
+            # claim deterministically (both completed the same tick).
+            for job in sorted(completed, key=lambda j: j.processor):
+                handle_completion(job, now)
+
+        trace.validate()
+        return SimulationResult(
+            taskset=taskset,
+            timebase=base,
+            horizon_ticks=self.horizon,
+            policy_name=self.policy.name,
+            trace=trace,
+            permanent_fault=self.permanent_fault,
+            transient_fault_count=transient_faults,
+            released_jobs=released_jobs,
+        )

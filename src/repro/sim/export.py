@@ -1,0 +1,122 @@
+"""Export simulation results to JSON and CSV.
+
+Downstream users plot traces with external tooling; this module flattens
+a :class:`~repro.sim.engine.SimulationResult` into plain dictionaries
+(JSON) or rows (CSV), with all times converted back to exact model units
+rendered as strings (``"7/2"``) so no precision is lost in transit.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from ..sim.engine import SimulationResult
+
+
+def _units(result: SimulationResult, ticks: "int | None") -> "str | None":
+    if ticks is None:
+        return None
+    return str(result.timebase.from_ticks(ticks))
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Flatten a simulation result into JSON-serializable primitives."""
+    segments: List[Dict[str, Any]] = [
+        {
+            "processor": s.processor,
+            "start": _units(result, s.start),
+            "end": _units(result, s.end),
+            "task": s.task_index,
+            "job": s.job_index,
+            "role": s.role,
+        }
+        for s in sorted(result.trace.segments, key=lambda s: (s.start, s.processor))
+    ]
+    records: List[Dict[str, Any]] = [
+        {
+            "task": r.task_index,
+            "job": r.job_index,
+            "release": _units(result, r.release),
+            "deadline": _units(result, r.deadline),
+            "classified_as": r.classified_as,
+            "flexibility_degree": r.flexibility_degree,
+            "outcome": r.outcome.value if r.outcome else None,
+            "decided_at": _units(result, r.decided_at),
+        }
+        for _, r in sorted(result.trace.records.items())
+    ]
+    events = [
+        {"time": _units(result, e.time), "kind": e.kind, "detail": e.detail}
+        for e in result.trace.events
+    ]
+    return {
+        "policy": result.policy_name,
+        "horizon": _units(result, result.horizon_ticks),
+        "ticks_per_unit": result.timebase.ticks_per_unit,
+        "tasks": [
+            {
+                "name": task.name,
+                "period": str(task.period),
+                "deadline": str(task.deadline),
+                "wcet": str(task.wcet),
+                "m": task.mk.m,
+                "k": task.mk.k,
+            }
+            for task in result.taskset
+        ],
+        "permanent_fault": (
+            {
+                "processor": result.permanent_fault[0],
+                "time": _units(result, result.permanent_fault[1]),
+            }
+            if result.permanent_fault
+            else None
+        ),
+        "transient_fault_count": result.transient_fault_count,
+        "mk_satisfied": result.mk_satisfied(),
+        "segments": segments,
+        "records": records,
+        "events": events,
+    }
+
+
+def result_to_json(result: SimulationResult, indent: int = 2) -> str:
+    """The result as a JSON document string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def segments_to_csv(result: SimulationResult) -> str:
+    """The trace segments as CSV text (one row per execution interval)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["processor", "start", "end", "task", "job", "role"])
+    for segment in sorted(
+        result.trace.segments, key=lambda s: (s.start, s.processor)
+    ):
+        writer.writerow(
+            [
+                segment.processor,
+                _units(result, segment.start),
+                _units(result, segment.end),
+                segment.task_index,
+                segment.job_index,
+                segment.role,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def write_result(result: SimulationResult, path: str) -> None:
+    """Write the result to ``path``; format chosen by extension.
+
+    ``.json`` -> full result document; ``.csv`` -> segments table.
+    """
+    if path.endswith(".csv"):
+        payload = segments_to_csv(result)
+    else:
+        payload = result_to_json(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

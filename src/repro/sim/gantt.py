@@ -1,0 +1,85 @@
+"""ASCII Gantt rendering of execution traces.
+
+Renders each processor as one lane, one character per time cell, so the
+paper's figures can be eyeballed directly in a terminal::
+
+    primary |111  111  2'2'     |
+    spare   |2211      1'1'     |
+
+Digits identify the task (1-based); a trailing ' marks a backup copy and
+a lowercase 'o' suffix style is avoided in favour of marking optional
+copies with '*' on a separate annotation row when requested.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..errors import ConfigurationError
+from ..timebase import TimeBase
+from .trace import ExecutionTrace
+
+_PROCESSOR_LABELS = {0: "primary", 1: "spare"}
+
+
+def _glyph(task_index: int, role: str) -> str:
+    digit = str((task_index + 1) % 10)
+    if role == "backup":
+        return digit.translate(str.maketrans("0123456789", "⁰¹²³⁴⁵⁶⁷⁸⁹"))
+    if role == "optional":
+        return digit.translate(str.maketrans("0123456789", "₀₁₂₃₄₅₆₇₈₉"))
+    return digit
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    timebase: TimeBase,
+    horizon_ticks: int,
+    cell_units: "Fraction | int | float" = 1,
+    legend: bool = True,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    Args:
+        trace: the execution trace.
+        timebase: tick grid of the trace.
+        horizon_ticks: chart width in ticks.
+        cell_units: model time units per character cell (must map to a
+            whole number of ticks).
+        legend: append a glyph legend line.
+
+    Returns:
+        A multi-line string; plain digits are main copies, superscript
+        digits backups, subscript digits optional jobs, '.' idle.
+    """
+    cell_ticks = TimeBase(timebase.ticks_per_unit).to_ticks(
+        Fraction(cell_units) if not isinstance(cell_units, Fraction) else cell_units
+    )
+    if cell_ticks <= 0:
+        raise ConfigurationError("cell_units must map to a positive tick count")
+    cells = -(-horizon_ticks // cell_ticks)
+    lanes: List[str] = []
+    for processor in range(trace.processor_count):
+        row = ["."] * cells
+        for segment in trace.segments_on(processor):
+            first = max(segment.start, 0) // cell_ticks
+            last = min(segment.end, horizon_ticks)
+            last_cell = -(-last // cell_ticks)
+            for cell in range(first, min(last_cell, cells)):
+                row[cell] = _glyph(segment.task_index, segment.role)
+        label = _PROCESSOR_LABELS.get(processor, f"proc{processor}")
+        lanes.append(f"{label:<8}|{''.join(row)}|")
+    ruler_step = max(1, cells // 10)
+    ruler = [" "] * cells
+    for cell in range(0, cells, ruler_step):
+        mark = str(timebase.from_ticks(cell * cell_ticks))
+        for offset, char in enumerate(mark):
+            if cell + offset < cells:
+                ruler[cell + offset] = char
+    lanes.append(f"{'time':<8} {''.join(ruler)}")
+    if legend:
+        lanes.append(
+            "legend: digit=main  superscript=backup  subscript=optional  .=idle"
+        )
+    return "\n".join(lanes)

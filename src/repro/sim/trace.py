@@ -1,0 +1,182 @@
+"""Execution traces: what ran where, when, and how each job ended up.
+
+The trace is the single source of truth downstream: energy accounting
+integrates processor busy time from segments, the QoS monitor reads
+logical-job outcomes, and the Gantt renderer draws the segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..model.job import Job, JobOutcome
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval during which one job copy ran on one processor."""
+
+    processor: int
+    start: int
+    end: int
+    task_index: int
+    job_index: int
+    role: str  # JobRole.value, kept as str for cheap serialization
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(
+                f"segment must have positive length: [{self.start},{self.end})"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlap_with(self, window_start: int, window_end: int) -> int:
+        """Ticks of this segment inside [window_start, window_end)."""
+        lo = max(self.start, window_start)
+        hi = min(self.end, window_end)
+        return max(0, hi - lo)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A notable scheduling event, for logging and debugging."""
+
+    time: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class LogicalJobRecord:
+    """Final verdict on one logical job J_ij."""
+
+    task_index: int
+    job_index: int
+    release: int
+    deadline: int
+    outcome: Optional[JobOutcome] = None
+    decided_at: Optional[int] = None
+    classified_as: str = ""  # "mandatory" | "optional" | "skipped"
+    flexibility_degree: Optional[int] = None
+
+    @property
+    def effective(self) -> bool:
+        return self.outcome is JobOutcome.EFFECTIVE
+
+
+class ExecutionTrace:
+    """Complete record of one simulation run."""
+
+    def __init__(self, processor_count: int = 2) -> None:
+        if processor_count < 1:
+            raise SimulationError("need at least one processor")
+        self.processor_count = processor_count
+        self.segments: List[Segment] = []
+        self.events: List[TraceEvent] = []
+        self.records: Dict[Tuple[int, int], LogicalJobRecord] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def add_segment(self, processor: int, start: int, end: int, job: Job) -> None:
+        """Record that ``job`` ran on ``processor`` during [start, end)."""
+        if start == end:
+            return
+        self.segments.append(
+            Segment(
+                processor=processor,
+                start=start,
+                end=end,
+                task_index=job.task_index,
+                job_index=job.job_index,
+                role=job.role.value,
+            )
+        )
+
+    def log(self, time: int, kind: str, detail: str) -> None:
+        """Append a trace event."""
+        self.events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def record_for(self, key: Tuple[int, int]) -> LogicalJobRecord:
+        """The logical-job record for (task_index, job_index); must exist."""
+        try:
+            return self.records[key]
+        except KeyError as exc:
+            raise SimulationError(f"no logical job record for {key}") from exc
+
+    # -- queries -----------------------------------------------------------
+
+    def segments_on(self, processor: int) -> List[Segment]:
+        """Segments of one processor, in chronological order."""
+        return sorted(
+            (s for s in self.segments if s.processor == processor),
+            key=lambda s: s.start,
+        )
+
+    def busy_ticks(
+        self,
+        processor: Optional[int] = None,
+        window: Optional[Tuple[int, int]] = None,
+    ) -> int:
+        """Total execution ticks, optionally per processor and windowed."""
+        total = 0
+        for segment in self.segments:
+            if processor is not None and segment.processor != processor:
+                continue
+            if window is None:
+                total += segment.length
+            else:
+                total += segment.overlap_with(*window)
+        return total
+
+    def idle_gaps(
+        self, processor: int, window: Tuple[int, int]
+    ) -> List[Tuple[int, int]]:
+        """Maximal idle intervals of a processor inside ``window``."""
+        window_start, window_end = window
+        gaps: List[Tuple[int, int]] = []
+        cursor = window_start
+        for segment in self.segments_on(processor):
+            seg_start = max(segment.start, window_start)
+            seg_end = min(segment.end, window_end)
+            if seg_end <= cursor:
+                continue
+            if seg_start > cursor:
+                gaps.append((cursor, min(seg_start, window_end)))
+            cursor = max(cursor, seg_end)
+            if cursor >= window_end:
+                break
+        if cursor < window_end:
+            gaps.append((cursor, window_end))
+        return [gap for gap in gaps if gap[1] > gap[0]]
+
+    def validate(self) -> None:
+        """Assert trace invariants: no overlapping segments per processor.
+
+        Raises:
+            SimulationError: when two segments on one processor overlap.
+        """
+        for processor in range(self.processor_count):
+            previous_end = None
+            for segment in self.segments_on(processor):
+                if previous_end is not None and segment.start < previous_end:
+                    raise SimulationError(
+                        f"overlapping segments on processor {processor} at "
+                        f"tick {segment.start}"
+                    )
+                previous_end = segment.end
+
+    def outcomes_for_task(self, task_index: int) -> List[bool]:
+        """Per-job effectiveness flags of one task, in job order."""
+        keys = sorted(k for k in self.records if k[0] == task_index)
+        return [self.records[k].effective for k in keys]
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionTrace(segments={len(self.segments)}, "
+            f"records={len(self.records)}, events={len(self.events)})"
+        )

@@ -1,0 +1,161 @@
+"""Independent post-run validation of simulation results.
+
+A second pair of eyes on the engine: given only a
+:class:`~repro.sim.engine.SimulationResult` and the task model, these
+checks re-derive what *must* hold of any correct standby-sparing schedule
+and report every violation.  The property-based engine tests run the
+validator on every random schedule, so engine bugs have to get past an
+implementation that shares no code with the engine's bookkeeping.
+
+Checked invariants:
+
+* segments on one processor never overlap, and never precede the job's
+  release;
+* no copy of a job executes past its logical deadline;
+* no logical job receives more execution than *two* WCETs total
+  (main + backup; recoveries raise the cap via ``max_copies``);
+* an effective job really has enough execution recorded to have
+  completed at least one copy (>= one WCET of execution);
+* a skipped job never executed at all;
+* outcome sequences exist for every released job index 1..max without
+  gaps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..model.job import JobOutcome
+from ..sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    kind: str
+    detail: str
+
+
+def validate_result(
+    result: SimulationResult, max_copies: int = 2
+) -> List[ValidationIssue]:
+    """Run all invariant checks; returns the (ideally empty) issue list.
+
+    Args:
+        result: a finished simulation.
+        max_copies: executions of one logical job may total at most this
+            many WCETs (2 for plain standby-sparing; higher when a policy
+            schedules recovery copies).
+    """
+    issues: List[ValidationIssue] = []
+    base = result.timebase
+    taskset = result.taskset
+    wcets = [base.to_ticks(task.wcet) for task in taskset]
+    periods = [base.to_ticks(task.period) for task in taskset]
+    deadlines = [base.to_ticks(task.deadline) for task in taskset]
+
+    # -- per-processor segment sanity ------------------------------------
+    for processor in range(result.trace.processor_count):
+        previous_end = None
+        for segment in result.trace.segments_on(processor):
+            if previous_end is not None and segment.start < previous_end:
+                issues.append(
+                    ValidationIssue(
+                        "overlap",
+                        f"processor {processor} segments overlap at "
+                        f"{segment.start}",
+                    )
+                )
+            previous_end = segment.end
+
+    # -- per-logical-job execution accounting -----------------------------
+    executed: Dict[Tuple[int, int], int] = defaultdict(int)
+    first_start: Dict[Tuple[int, int], int] = {}
+    last_end: Dict[Tuple[int, int], int] = {}
+    for segment in result.trace.segments:
+        key = (segment.task_index, segment.job_index)
+        executed[key] += segment.length
+        first_start[key] = min(
+            first_start.get(key, segment.start), segment.start
+        )
+        last_end[key] = max(last_end.get(key, segment.end), segment.end)
+
+    for key, ticks in executed.items():
+        task_index, job_index = key
+        release = (job_index - 1) * periods[task_index]
+        deadline = release + deadlines[task_index]
+        wcet = wcets[task_index]
+        if first_start[key] < release:
+            issues.append(
+                ValidationIssue(
+                    "early-start",
+                    f"J{task_index + 1},{job_index} started at "
+                    f"{first_start[key]} before release {release}",
+                )
+            )
+        if last_end[key] > deadline:
+            issues.append(
+                ValidationIssue(
+                    "late-execution",
+                    f"J{task_index + 1},{job_index} executed past its "
+                    f"deadline {deadline} (until {last_end[key]})",
+                )
+            )
+        if ticks > max_copies * wcet:
+            issues.append(
+                ValidationIssue(
+                    "over-execution",
+                    f"J{task_index + 1},{job_index} executed {ticks} ticks "
+                    f"> {max_copies} x WCET {wcet}",
+                )
+            )
+
+    # -- outcome bookkeeping ----------------------------------------------
+    per_task_jobs: Dict[int, List[int]] = defaultdict(list)
+    for (task_index, job_index), record in sorted(result.trace.records.items()):
+        per_task_jobs[task_index].append(job_index)
+        key = (task_index, job_index)
+        if record.outcome is None:
+            issues.append(
+                ValidationIssue(
+                    "undecided",
+                    f"J{task_index + 1},{job_index} has no outcome",
+                )
+            )
+        elif record.outcome is JobOutcome.EFFECTIVE:
+            if executed.get(key, 0) < wcets[task_index]:
+                issues.append(
+                    ValidationIssue(
+                        "phantom-success",
+                        f"J{task_index + 1},{job_index} effective with only "
+                        f"{executed.get(key, 0)} ticks executed",
+                    )
+                )
+        if record.classified_as == "skipped" and executed.get(key, 0) > 0:
+            issues.append(
+                ValidationIssue(
+                    "skipped-but-ran",
+                    f"J{task_index + 1},{job_index} was skipped yet executed",
+                )
+            )
+
+    for task_index, job_indices in per_task_jobs.items():
+        expected = list(range(1, max(job_indices) + 1))
+        if job_indices != expected:
+            issues.append(
+                ValidationIssue(
+                    "gap",
+                    f"task {task_index + 1} job records are not contiguous: "
+                    f"{job_indices}",
+                )
+            )
+    return issues
+
+
+def assert_valid(result: SimulationResult, max_copies: int = 2) -> None:
+    """Raise AssertionError with every issue when validation fails."""
+    issues = validate_result(result, max_copies=max_copies)
+    assert not issues, "\n".join(f"{i.kind}: {i.detail}" for i in issues)

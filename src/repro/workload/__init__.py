@@ -1,0 +1,39 @@
+"""Workload generation: the paper's random task sets and worked examples."""
+
+from .uunifast import uunifast
+from .generator import GeneratorConfig, TaskSetGenerator, generate_binned_tasksets
+from .presets import (
+    fig1_taskset,
+    fig3_taskset,
+    fig5_taskset,
+    motivation_tasksets,
+)
+from .acet import ConstantRatioTimes, UniformActualTimes, WorstCaseTimes
+from .serialization import (
+    load_taskset,
+    save_taskset,
+    taskset_from_dict,
+    taskset_from_json,
+    taskset_to_dict,
+    taskset_to_json,
+)
+
+__all__ = [
+    "uunifast",
+    "GeneratorConfig",
+    "TaskSetGenerator",
+    "generate_binned_tasksets",
+    "fig1_taskset",
+    "fig3_taskset",
+    "fig5_taskset",
+    "motivation_tasksets",
+    "ConstantRatioTimes",
+    "UniformActualTimes",
+    "WorstCaseTimes",
+    "load_taskset",
+    "save_taskset",
+    "taskset_from_dict",
+    "taskset_from_json",
+    "taskset_to_dict",
+    "taskset_to_json",
+]

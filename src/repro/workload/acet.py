@@ -1,0 +1,64 @@
+"""Actual execution time models (ACET < WCET variability).
+
+The paper charges every job its WCET.  Real workloads finish early, and
+early completion is pure upside for standby-sparing: the sooner a main
+copy completes, the more of its backup is canceled.  These models give
+each *logical* job an actual execution time (both copies of a mandatory
+job share it -- same input, same computation), deterministically derived
+from (seed, task, job) so every scheme sees identical draws and
+comparisons stay paired.
+
+Engine integration: pass an instance as ``execution_time_fn`` to
+:class:`~repro.sim.engine.StandbySparingEngine` (or through
+``run_policy``/``run_scheme``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigurationError
+
+
+class WorstCaseTimes:
+    """The paper's model: every job runs for its full WCET."""
+
+    def __call__(self, task_index: int, job_index: int, wcet_ticks: int) -> int:
+        return wcet_ticks
+
+
+class ConstantRatioTimes:
+    """Every job executes a fixed fraction of its WCET."""
+
+    def __init__(self, ratio: float) -> None:
+        if not 0 < ratio <= 1:
+            raise ConfigurationError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+
+    def __call__(self, task_index: int, job_index: int, wcet_ticks: int) -> int:
+        return max(1, round(wcet_ticks * self.ratio))
+
+
+class UniformActualTimes:
+    """Per-job actual time uniform in [bcet_ratio * WCET, WCET].
+
+    Draws are a pure function of (seed, task_index, job_index), so the
+    same job gets the same actual time under every scheme and scenario.
+    """
+
+    def __init__(self, bcet_ratio: float, seed: int = 0) -> None:
+        if not 0 < bcet_ratio <= 1:
+            raise ConfigurationError(
+                f"bcet_ratio must be in (0, 1], got {bcet_ratio}"
+            )
+        self.bcet_ratio = bcet_ratio
+        self.seed = seed
+
+    def __call__(self, task_index: int, job_index: int, wcet_ticks: int) -> int:
+        rng = random.Random(
+            (self.seed * 1_000_003 + task_index) * 7_919 + job_index
+        )
+        low = max(1, round(wcet_ticks * self.bcet_ratio))
+        if low >= wcet_ticks:
+            return wcet_ticks
+        return rng.randint(low, wcet_ticks)

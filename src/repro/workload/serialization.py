@@ -1,0 +1,93 @@
+"""Task-set serialization: JSON documents and the CLI's inline format.
+
+The JSON schema is intentionally trivial -- a list of task objects with
+string-encoded exact rationals -- so files are hand-editable and diffable::
+
+    {"tasks": [
+        {"name": "control", "period": "5", "deadline": "4",
+         "wcet": "3", "m": 2, "k": 4},
+        ...
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import WorkloadError
+from ..model.task import Task
+from ..model.taskset import TaskSet
+
+
+def taskset_to_dict(taskset: TaskSet) -> Dict[str, Any]:
+    """A JSON-serializable representation of a task set."""
+    return {
+        "tasks": [
+            {
+                "name": task.name,
+                "period": str(task.period),
+                "deadline": str(task.deadline),
+                "wcet": str(task.wcet),
+                "m": task.mk.m,
+                "k": task.mk.k,
+            }
+            for task in taskset
+        ]
+    }
+
+
+def taskset_to_json(taskset: TaskSet, indent: int = 2) -> str:
+    """The task set as a JSON document string."""
+    return json.dumps(taskset_to_dict(taskset), indent=indent)
+
+
+def taskset_from_dict(payload: Dict[str, Any]) -> TaskSet:
+    """Rebuild a task set from :func:`taskset_to_dict` output.
+
+    Raises:
+        WorkloadError: on a malformed document.
+    """
+    try:
+        entries = payload["tasks"]
+    except (TypeError, KeyError) as exc:
+        raise WorkloadError("document must have a top-level 'tasks' list") from exc
+    if not isinstance(entries, list) or not entries:
+        raise WorkloadError("'tasks' must be a non-empty list")
+    tasks = []
+    for position, entry in enumerate(entries):
+        try:
+            tasks.append(
+                Task(
+                    entry["period"],
+                    entry["deadline"],
+                    entry["wcet"],
+                    int(entry["m"]),
+                    int(entry["k"]),
+                    name=str(entry.get("name", "")),
+                )
+            )
+        except (TypeError, KeyError, ValueError) as exc:
+            raise WorkloadError(f"malformed task entry #{position}: {entry!r}") from exc
+    return TaskSet(tasks)
+
+
+def taskset_from_json(document: str) -> TaskSet:
+    """Parse a task set from a JSON document string."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"invalid JSON: {exc}") from exc
+    return taskset_from_dict(payload)
+
+
+def load_taskset(path: str) -> TaskSet:
+    """Load a task set from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return taskset_from_json(handle.read())
+
+
+def save_taskset(taskset: TaskSet, path: str) -> None:
+    """Write a task set to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(taskset_to_json(taskset))

@@ -1,0 +1,72 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FaultScenario,
+    PowerModel,
+    Task,
+    TaskSet,
+)
+from repro.energy import energy_of
+from repro.schedulers.base import run_policy
+from repro.workload.presets import fig1_taskset, fig3_taskset, fig5_taskset
+
+
+@pytest.fixture
+def fig1():
+    return fig1_taskset()
+
+
+@pytest.fixture
+def fig3():
+    return fig3_taskset()
+
+
+@pytest.fixture
+def fig5():
+    return fig5_taskset()
+
+
+@pytest.fixture
+def simple_taskset():
+    """A tiny, obviously schedulable set for generic engine tests."""
+    return TaskSet(
+        [
+            Task(4, 4, 1, 1, 2, name="hi"),
+            Task(8, 8, 2, 2, 3, name="lo"),
+        ]
+    )
+
+
+def run_active(taskset, policy, horizon_units, window_units=None, scenario=None):
+    """Run a policy and return (result, exact active energy in the window).
+
+    Helper shared across integration tests: simulates ``horizon_units`` of
+    releases and accounts active-only energy over ``window_units``
+    (defaulting to the horizon).
+    """
+    base = taskset.timebase()
+    horizon = horizon_units * base.ticks_per_unit
+    result = run_policy(taskset, policy, horizon, base, scenario)
+    window = (window_units or horizon_units) * base.ticks_per_unit
+    report = energy_of(
+        result.trace,
+        base,
+        window,
+        PowerModel.active_only(),
+        result.permanent_fault,
+    )
+    return result, report.active_units
+
+
+@pytest.fixture
+def active_runner():
+    return run_active
+
+
+@pytest.fixture
+def no_faults():
+    return FaultScenario.none()

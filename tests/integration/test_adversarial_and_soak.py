@@ -1,0 +1,99 @@
+"""Adversarial and soak tests for the selective scheme's guarantee.
+
+Theorem 1's worst case is "every optional job fails"; we realize it with
+a fault oracle that corrupts every OPTIONAL completion while leaving
+mandatory copies clean, on random schedulable sets — the mandatory/backup
+machinery alone must then carry every (m,k)-constraint.
+
+The soak test runs a full paper-protocol workload over a long horizon and
+revalidates every engine invariant with the independent validator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.schedulability import is_rpattern_schedulable
+from repro.model.job import JobRole
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSGreedy, MKSSSelective
+from repro.sim.engine import StandbySparingEngine
+from repro.sim.validation import validate_result
+from repro.workload.generator import TaskSetGenerator
+
+
+@st.composite
+def schedulable_tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    for _ in range(n):
+        period = draw(st.sampled_from([4, 5, 6, 8, 10, 12, 20]))
+        wcet = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+        k = draw(st.integers(min_value=2, max_value=6))
+        m = draw(st.integers(min_value=1, max_value=k - 1))
+        tasks.append(Task(period, period, wcet, m, k))
+    tasks.sort(key=lambda t: t.period)
+    ts = TaskSet(tasks)
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    assume(is_rpattern_schedulable(ts, base, horizon_ticks=horizon))
+    return ts
+
+
+def fail_all_optionals(job, now):
+    return job.role is JobRole.OPTIONAL
+
+
+ADVERSARIAL_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@pytest.mark.parametrize("policy_factory", [MKSSSelective, MKSSGreedy])
+@settings(**ADVERSARIAL_SETTINGS)
+@given(ts=schedulable_tasksets())
+def test_mk_holds_when_every_optional_fails(policy_factory, ts):
+    """Theorem 1's adversary: optionals never help; the mandatory jobs
+    (dynamically classified, duplicated, θ/Y-postponed backups) must keep
+    every constraint on their own."""
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    engine = StandbySparingEngine(
+        ts,
+        policy_factory(),
+        horizon,
+        timebase=base,
+        transient_fault_fn=fail_all_optionals,
+    )
+    result = engine.run()
+    assert result.all_mk_satisfied(), result.trace.records
+    assert validate_result(result) == []
+
+
+class TestSoak:
+    def test_long_horizon_paper_workload(self):
+        """A full 5-10 task paper workload over 10k ms: invariants hold,
+        outcome bookkeeping stays contiguous, no violations."""
+        taskset = TaskSetGenerator(seed=86420).generate(0.5)
+        base = taskset.timebase()
+        horizon = analysis_horizon(taskset, base, 10_000)
+        engine = StandbySparingEngine(taskset, MKSSSelective(), horizon, base)
+        result = engine.run()
+        assert result.all_mk_satisfied()
+        assert validate_result(result) == []
+        assert result.released_jobs > 1000
+
+    def test_soak_determinism(self):
+        taskset = TaskSetGenerator(seed=86420).generate(0.5)
+        base = taskset.timebase()
+        horizon = analysis_horizon(taskset, base, 5_000)
+        first = StandbySparingEngine(taskset, MKSSSelective(), horizon, base).run()
+        second = StandbySparingEngine(taskset, MKSSSelective(), horizon, base).run()
+        assert first.busy_ticks() == second.busy_ticks()
+        assert len(first.trace.segments) == len(second.trace.segments)

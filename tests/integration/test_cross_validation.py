@@ -1,0 +1,105 @@
+"""Cross-validation between independent implementations.
+
+The repository deliberately contains two FP simulators (the standalone
+mandatory-schedule simulator in ``analysis`` and the full engine) and
+closed-form analyses overlapping with both; these tests pin them to each
+other so a bug in one is caught by the others.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.rta import response_time_mandatory
+from repro.analysis.schedulability import simulate_mandatory_schedule
+from repro.model.patterns import RPattern
+from repro.schedulers import MKSSStatic, MKSSSelective
+from repro.schedulers.base import run_policy
+from repro.workload.generator import TaskSetGenerator
+
+
+@pytest.fixture(scope="module", params=[101, 202, 303])
+def workload(request):
+    return TaskSetGenerator(seed=request.param).generate(0.45)
+
+
+class TestEngineVsStandaloneSimulator:
+    def test_identical_mandatory_busy_time(self, workload):
+        """MKSS_ST's primary processor runs exactly the mandatory-only FP
+        schedule the standalone simulator produces."""
+        base = workload.timebase()
+        horizon = analysis_horizon(workload, base, 800)
+        completions = simulate_mandatory_schedule(
+            workload, base, horizon_ticks=horizon
+        )
+        engine_result = run_policy(workload, MKSSStatic(), horizon, base)
+        standalone_busy = sum(
+            base.to_ticks(workload[idx].wcet)
+            for idx, _, _, _ in completions
+        )
+        # Engine jobs released in [0, horizon) = standalone jobs; the
+        # engine may finish the tail past the horizon but executes the
+        # same total mandatory work on the primary.
+        assert engine_result.trace.busy_ticks(0) == standalone_busy
+
+    def test_identical_completion_instants(self, workload):
+        base = workload.timebase()
+        horizon = analysis_horizon(workload, base, 800)
+        completions = {
+            (idx, job): finish
+            for idx, job, finish, _ in simulate_mandatory_schedule(
+                workload, base, horizon_ticks=horizon
+            )
+        }
+        engine_result = run_policy(workload, MKSSStatic(), horizon, base)
+        engine_completions = {}
+        for segment in engine_result.trace.segments_on(0):
+            key = (segment.task_index, segment.job_index)
+            engine_completions[key] = max(
+                engine_completions.get(key, 0), segment.end
+            )
+        assert engine_completions == completions
+
+
+class TestRTAVsSimulation:
+    def test_first_job_response_matches_rta(self, workload):
+        """Under synchronous release with the deeply-red pattern, the
+        first mandatory job of each task completes exactly at its
+        pattern-aware response time."""
+        base = workload.timebase()
+        horizon = analysis_horizon(workload, base, 800)
+        completions = {
+            (idx, job): finish
+            for idx, job, finish, _ in simulate_mandatory_schedule(
+                workload, base, horizon_ticks=horizon
+            )
+        }
+        for index in range(len(workload)):
+            predicted = response_time_mandatory(workload, index, base)
+            assert completions[(index, 1)] == predicted
+
+
+class TestRateVsSimulation:
+    def test_selective_rate_matches_engine_counts(self):
+        """m/(k-1) from cycle detection equals the engine's long-run
+        execution frequency for an interference-free task."""
+        from fractions import Fraction
+
+        from repro.model.task import Task
+        from repro.model.taskset import TaskSet
+        from repro.schedulers import selective_execution_rate
+
+        for m, k in [(1, 2), (2, 4), (1, 5), (3, 7)]:
+            ts = TaskSet([Task(10, 10, 1, m, k)])
+            base = ts.timebase()
+            windows = 40
+            horizon = 10 * k * windows * base.ticks_per_unit
+            result = run_policy(ts, MKSSSelective(), horizon, base)
+            executed = len(
+                {s.job_index for s in result.trace.segments}
+            )
+            total_jobs = k * windows
+            rate = Fraction(executed, total_jobs)
+            predicted = selective_execution_rate(ts[0].mk)
+            assert abs(rate - predicted) <= Fraction(1, 20), (m, k)

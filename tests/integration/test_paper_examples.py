@@ -1,0 +1,215 @@
+"""Gold-vector tests: the paper's worked examples, reproduced exactly.
+
+Sections III and IV derive concrete schedules and numbers for three small
+task sets; these tests pin our schedulers and analyses to every one of
+them.  See DESIGN.md ("Semantics pinned by the paper's worked examples")
+for the trace-level derivations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    MKSSDualPriority,
+    MKSSGreedy,
+    MKSSSelective,
+    MKSSStatic,
+    promotion_times,
+    response_times,
+    task_postponement_intervals,
+)
+from repro.analysis.schedulability import simulate_mandatory_fp
+
+
+class TestFigure1DualPriority:
+    """Figure 1: MKSS_DP on τ1=(5,4,3,2,4), τ2=(10,10,3,1,2)."""
+
+    def test_promotion_times_are_one(self, fig1):
+        assert promotion_times(fig1) == [1, 1]
+
+    def test_response_times(self, fig1):
+        assert response_times(fig1) == [3, 9]
+
+    def test_active_energy_is_15(self, fig1, active_runner):
+        result, energy = active_runner(fig1, MKSSDualPriority(), 20)
+        assert energy == 15
+        assert result.all_mk_satisfied()
+
+    def test_main_split_matches_figure(self, fig1, active_runner):
+        """τ1's main runs on the primary, τ2's main on the spare."""
+        result, _ = active_runner(fig1, MKSSDualPriority(), 20)
+        mains = {
+            (s.task_index, s.processor)
+            for s in result.trace.segments
+            if s.role == "main"
+        }
+        assert (0, 0) in mains
+        assert (1, 1) in mains
+        assert (0, 1) not in mains
+        assert (1, 0) not in mains
+
+    def test_backup_waste_is_six_units(self, fig1, active_runner):
+        """Each of the three backups runs 2 units before cancellation."""
+        result, _ = active_runner(fig1, MKSSDualPriority(), 20)
+        backup_ticks = sum(
+            s.length for s in result.trace.segments if s.role == "backup"
+        )
+        assert backup_ticks == 6 * result.timebase.ticks_per_unit
+
+
+class TestFigure2DynamicPatterns:
+    """Figure 2: adaptive FD=1 execution on the Figure 1 task set.
+
+    The figure's trace executes exactly O21, O12, J13-as-optional, and
+    J22-as-optional (12 units); that is the FD = 1 selection rule, which
+    :class:`MKSSSelective` implements (the greedy policy additionally runs
+    the FD = 2 job J14, spending 15 -- see EXPERIMENTS.md).
+    """
+
+    def test_active_energy_is_12(self, fig1, active_runner):
+        result, energy = active_runner(
+            fig1, MKSSSelective(alternate=False), 20
+        )
+        assert energy == 12
+        assert result.all_mk_satisfied()
+
+    def test_alternation_keeps_energy_at_12(self, fig1, active_runner):
+        _, energy = active_runner(fig1, MKSSSelective(), 20)
+        assert energy == 12
+
+    def test_o11_is_never_started(self, fig1, active_runner):
+        """O11 lacks the space to finish by its deadline and is skipped."""
+        result, _ = active_runner(fig1, MKSSSelective(alternate=False), 20)
+        assert all(
+            not (s.task_index == 0 and s.job_index == 1)
+            for s in result.trace.segments
+        )
+
+    def test_every_executed_job_is_optional(self, fig1, active_runner):
+        """No mandatory job (hence no backup) ever arises in the window."""
+        result, _ = active_runner(fig1, MKSSSelective(alternate=False), 20)
+        roles = {s.role for s in result.trace.segments}
+        assert roles == {"optional"}
+
+    def test_twenty_percent_below_figure1(self, fig1, active_runner):
+        _, dp = active_runner(fig1, MKSSDualPriority(), 20)
+        _, sel = active_runner(fig1, MKSSSelective(alternate=False), 20)
+        assert 1 - sel / dp == Fraction(1, 5)
+
+
+class TestFigure3Greedy:
+    """Figure 3: greedy execution on τ1=(5,2.5,2,2,4), τ2=(4,4,2,2,4)."""
+
+    def test_active_energy_is_20_through_t24(self, fig3, active_runner):
+        """The figure's 20 units; its horizon label 25 clips a job that
+        completes at t=26, so the exact window is [0, 24)."""
+        _, energy = active_runner(fig3, MKSSGreedy(), 25, window_units=24)
+        assert energy == 20
+
+    def test_tau1_executes_exactly_four_jobs(self, fig3, active_runner):
+        result, _ = active_runner(fig3, MKSSGreedy(), 25)
+        tau1_jobs = {
+            s.job_index for s in result.trace.segments if s.task_index == 0
+        }
+        assert len(tau1_jobs) == 4
+
+    def test_o12_is_skipped_nonpreemptively(self, fig3, active_runner):
+        """O22 holds the processor, so O12 becomes infeasible (paper text)."""
+        result, _ = active_runner(fig3, MKSSGreedy(), 25)
+        assert all(
+            not (s.task_index == 0 and s.job_index == 2)
+            for s in result.trace.segments
+        )
+
+    def test_mk_holds_despite_greed(self, fig3, active_runner):
+        result, _ = active_runner(fig3, MKSSGreedy(), 25)
+        assert result.all_mk_satisfied()
+
+
+class TestFigure4Selective:
+    """Figure 4: the selective scheme on the Figure 3 task set."""
+
+    def test_active_energy_is_14(self, fig3, active_runner):
+        result, energy = active_runner(fig3, MKSSSelective(), 25)
+        assert energy == 14
+        assert result.all_mk_satisfied()
+
+    def test_thirty_percent_below_greedy(self, fig3, active_runner):
+        _, greedy = active_runner(fig3, MKSSGreedy(), 25, window_units=24)
+        _, selective = active_runner(fig3, MKSSSelective(), 25, window_units=24)
+        assert 1 - selective / greedy >= Fraction(30, 100)
+
+    def test_optional_jobs_alternate_processors(self, fig3, active_runner):
+        """Figure 4 runs O12/O22 on the primary, then J13/J23 on the spare."""
+        result, _ = active_runner(fig3, MKSSSelective(), 25)
+        processors_by_job = {}
+        for segment in result.trace.segments:
+            processors_by_job.setdefault(
+                (segment.task_index, segment.job_index), set()
+            ).add(segment.processor)
+        # Each selected optional runs on exactly one processor...
+        assert all(len(v) == 1 for v in processors_by_job.values())
+        # ...and consecutive selections of one task use both processors.
+        tau2_processors = [
+            processors_by_job[key].copy().pop()
+            for key in sorted(processors_by_job)
+            if key[0] == 1
+        ]
+        assert len(set(tau2_processors)) == 2
+
+    def test_fd2_jobs_are_skipped(self, fig3, active_runner):
+        """J11 and J21 (flexibility degree 2) are never executed."""
+        result, _ = active_runner(fig3, MKSSSelective(), 25)
+        executed = {(s.task_index, s.job_index) for s in result.trace.segments}
+        assert (0, 1) not in executed
+        assert (1, 1) not in executed
+
+
+class TestFigure5Postponement:
+    """Figure 5: θ analysis on τ1=(10,10,3,2,3), τ2=(15,15,8,1,2)."""
+
+    def test_theta_values(self, fig5):
+        result = task_postponement_intervals(fig5)
+        assert result.thetas == [7, 4]
+
+    def test_job_level_thetas(self, fig5):
+        result = task_postponement_intervals(fig5)
+        assert result.job_thetas[0] == [(1, 7), (2, 7)]
+        assert result.job_thetas[1] == [(1, 4)]
+
+    def test_theta2_exceeds_promotion_time(self, fig5):
+        """The paper highlights θ2 = 4 >> Y2 = 1."""
+        result = task_postponement_intervals(fig5)
+        assert result.promotions[1] == 1
+        assert result.thetas[1] > result.promotions[1]
+
+    def test_postponed_backups_meet_deadlines(self, fig5):
+        result = task_postponement_intervals(fig5)
+        ok, misses = simulate_mandatory_fp(
+            fig5, release_offsets=result.thetas
+        )
+        assert ok, misses
+
+    def test_larger_offsets_would_miss(self, fig5):
+        """θ is tight here: postponing τ2's backups one more unit fails."""
+        result = task_postponement_intervals(fig5)
+        bumped = [result.thetas[0], result.thetas[1] + 1]
+        ok, misses = simulate_mandatory_fp(fig5, release_offsets=bumped)
+        assert not ok
+        assert misses
+
+
+class TestStaticReference:
+    """MKSS_ST doubles the mandatory workload (both copies run fully)."""
+
+    def test_fig1_st_energy_is_18(self, fig1, active_runner):
+        result, energy = active_runner(fig1, MKSSStatic(), 20)
+        assert energy == 18  # mandatory work 9 units, twice
+        assert result.all_mk_satisfied()
+
+    def test_both_processors_equally_busy(self, fig1, active_runner):
+        result, _ = active_runner(fig1, MKSSStatic(), 20)
+        assert result.busy_ticks(0) == result.busy_ticks(1)

@@ -1,0 +1,89 @@
+"""Property-based tests for energy accounting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.model.job import Job, JobRole
+from repro.sim.trace import ExecutionTrace
+from repro.timebase import TimeBase
+
+
+@st.composite
+def traces(draw):
+    """Random non-overlapping segment layouts on two processors."""
+    trace = ExecutionTrace()
+    for processor in (0, 1):
+        cursor = 0
+        for _ in range(draw(st.integers(min_value=0, max_value=8))):
+            gap = draw(st.integers(min_value=0, max_value=6))
+            length = draw(st.integers(min_value=1, max_value=7))
+            start = cursor + gap
+            end = start + length
+            job = Job(0, 1, JobRole.MAIN, 0, 10**6, length, processor=processor)
+            trace.add_segment(processor, start, end, job)
+            cursor = end
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=80))
+def test_busy_idle_sleep_partition_the_window(trace, horizon):
+    """busy + idle + sleep == horizon, exactly, per processor."""
+    model = PowerModel(idle_power=0.2, sleep_power=0.01, break_even=Fraction(2))
+    report = energy_of(trace, TimeBase(1), horizon, model)
+    for processor in (0, 1):
+        entry = report.per_processor[processor]
+        assert (
+            entry.busy_units + entry.idle_units + entry.sleep_units == horizon
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=80))
+def test_active_energy_equals_windowed_busy_time(trace, horizon):
+    report = energy_of(trace, TimeBase(1), horizon, PowerModel.active_only())
+    assert report.active_units == trace.busy_ticks(None, window=(0, horizon))
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=80))
+def test_total_energy_monotone_in_idle_power(trace, horizon):
+    low = energy_of(
+        trace,
+        TimeBase(1),
+        horizon,
+        PowerModel(idle_power=0.1, sleep_power=0.0, break_even=Fraction(2)),
+    )
+    high = energy_of(
+        trace,
+        TimeBase(1),
+        horizon,
+        PowerModel(idle_power=0.4, sleep_power=0.0, break_even=Fraction(2)),
+    )
+    assert high.total_energy >= low.total_energy - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces(), st.integers(min_value=1, max_value=80))
+def test_sleep_never_costs_more_than_idle(trace, horizon):
+    """Allowing DPD (break_even 0) can only reduce total energy relative
+    to forbidding it (break_even larger than any gap)."""
+    with_dpd = energy_of(
+        trace,
+        TimeBase(1),
+        horizon,
+        PowerModel(idle_power=0.3, sleep_power=0.0, break_even=Fraction(0)),
+    )
+    without = energy_of(
+        trace,
+        TimeBase(1),
+        horizon,
+        PowerModel(idle_power=0.3, sleep_power=0.0, break_even=Fraction(10**6)),
+    )
+    assert with_dpd.total_energy <= without.total_energy + 1e-12

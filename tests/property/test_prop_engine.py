@@ -1,0 +1,147 @@
+"""Property-based tests of engine invariants on random schedulable sets.
+
+These are the heart of the reproduction's validation: for arbitrary
+R-pattern-schedulable task sets and every scheme, simulation must (a) keep
+each processor's trace overlap-free, (b) never violate any (m,k)
+constraint in the fault-free and permanent-fault scenarios (Theorem 1 and
+the standby-sparing guarantee), and (c) account energy consistently.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.schedulability import is_rpattern_schedulable
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.faults.scenario import FaultScenario
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import (
+    MKSSDualPriority,
+    MKSSGreedy,
+    MKSSSelective,
+    MKSSStatic,
+)
+from repro.schedulers.base import run_policy
+
+POLICIES = {
+    "st": MKSSStatic,
+    "dp": MKSSDualPriority,
+    "greedy": MKSSGreedy,
+    "selective": MKSSSelective,
+}
+
+
+@st.composite
+def schedulable_tasksets(draw):
+    """Small random task sets that pass the R-pattern admission test."""
+    from hypothesis import assume
+
+    n = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    for _ in range(n):
+        period = draw(st.sampled_from([4, 5, 6, 8, 10, 12, 20]))
+        wcet = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+        k = draw(st.integers(min_value=2, max_value=6))
+        m = draw(st.integers(min_value=1, max_value=k - 1))
+        tasks.append(Task(period, period, wcet, m, k))
+    tasks.sort(key=lambda t: t.period)
+    ts = TaskSet(tasks)
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    assume(is_rpattern_schedulable(ts, base, horizon_ticks=horizon))
+    return ts
+
+
+def _run(ts, policy_factory, scenario=None):
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    return run_policy(ts, policy_factory(), horizon, base, scenario), horizon
+
+
+taskset_strategy = schedulable_tasksets()
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@pytest.mark.parametrize("policy_key", sorted(POLICIES))
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_trace_has_no_overlaps(policy_key, ts):
+    result, _ = _run(ts, POLICIES[policy_key])
+    result.trace.validate()
+
+
+@pytest.mark.parametrize("policy_key", sorted(POLICIES))
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_independent_validator_passes(policy_key, ts):
+    """Every invariant of sim.validation holds on random schedules."""
+    from repro.sim.validation import validate_result
+
+    result, _ = _run(ts, POLICIES[policy_key])
+    assert validate_result(result) == []
+
+
+@pytest.mark.parametrize("policy_key", sorted(POLICIES))
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_mk_guaranteed_without_faults(policy_key, ts):
+    result, _ = _run(ts, POLICIES[policy_key])
+    assert result.all_mk_satisfied(), result.trace.records
+
+
+@pytest.mark.parametrize("policy_key", sorted(POLICIES))
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy, data=st.data())
+def test_mk_guaranteed_under_permanent_fault(policy_key, ts, data):
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    processor = data.draw(st.integers(min_value=0, max_value=1))
+    tick = data.draw(st.integers(min_value=0, max_value=horizon - 1))
+    scenario = FaultScenario.permanent_only(processor=processor, tick=tick)
+    result, _ = _run(ts, POLICIES[policy_key], scenario)
+    assert result.all_mk_satisfied(), (processor, tick, result.trace.records)
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_selective_energy_never_exceeds_static(ts):
+    """Selective executes at most what ST executes plus saved backups --
+    its active energy can never exceed the 2x-mandatory reference."""
+    st_result, horizon = _run(ts, MKSSStatic)
+    sel_result, _ = _run(ts, MKSSSelective)
+    model = PowerModel.active_only()
+    base = ts.timebase()
+    st_energy = energy_of(st_result.trace, base, horizon, model).active_units
+    sel_energy = energy_of(sel_result.trace, base, horizon, model).active_units
+    assert sel_energy <= st_energy
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_energy_equals_busy_time(ts):
+    result, horizon = _run(ts, MKSSDualPriority)
+    base = ts.timebase()
+    report = energy_of(
+        result.trace, base, horizon, PowerModel.active_only()
+    )
+    assert report.active_units == base.from_ticks(
+        result.trace.busy_ticks(None, window=(0, horizon))
+    )
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=taskset_strategy)
+def test_every_released_job_gets_an_outcome(ts):
+    result, _ = _run(ts, MKSSSelective)
+    for record in result.trace.records.values():
+        assert record.outcome is not None, record

@@ -1,0 +1,94 @@
+"""Property-based tests for flexibility degrees (Definition 1)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.history import MKHistory, flexibility_degree
+from repro.model.mk import MKConstraint
+
+mk_pairs = st.integers(min_value=2, max_value=15).flatmap(
+    lambda k: st.tuples(st.integers(min_value=1, max_value=k - 1), st.just(k))
+)
+histories = st.lists(st.booleans(), max_size=30)
+
+
+@given(mk_pairs, histories)
+def test_fd_bounded_by_k_minus_m(pair, history):
+    m, k = pair
+    fd = flexibility_degree(history, MKConstraint(m, k))
+    assert 0 <= fd <= k - m
+
+
+@given(mk_pairs, histories)
+def test_fd_definition_via_bruteforce(pair, history):
+    """FD is the max d such that d upcoming misses keep all windows valid."""
+    m, k = pair
+    mk = MKConstraint(m, k)
+    window = ([True] * (k - 1) + list(history))[-(k - 1):] if k > 1 else []
+
+    def misses_ok(d: int) -> bool:
+        outcomes = list(window) + [False] * d
+        # Only windows that end inside the appended misses matter.
+        for end in range(len(window), len(outcomes)):
+            segment = outcomes[max(0, end - k + 1) : end + 1]
+            # pad on the old side with successes (before time zero)
+            padded = [True] * (k - len(segment)) + segment
+            if sum(padded) < m:
+                return False
+        return True
+
+    fd = flexibility_degree(history, mk)
+    assert misses_ok(fd)
+    assert not misses_ok(fd + 1)
+
+
+@given(mk_pairs, histories)
+def test_success_never_decreases_fd(pair, history):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    before = flexibility_degree(history, mk)
+    after = flexibility_degree(list(history) + [True], mk)
+    assert after >= before
+
+
+@given(mk_pairs, histories)
+def test_miss_decreases_fd_by_at_most_one(pair, history):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    before = flexibility_degree(history, mk)
+    after = flexibility_degree(list(history) + [False], mk)
+    assert after >= before - 1
+
+
+@given(mk_pairs, st.lists(st.booleans(), min_size=1, max_size=60))
+def test_mkhistory_agrees_with_function(pair, outcomes):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    tracker = MKHistory(mk)
+    recorded = []
+    for outcome in outcomes:
+        assert tracker.flexibility_degree() == flexibility_degree(recorded, mk)
+        tracker.record(outcome)
+        recorded.append(outcome)
+    assert tracker.flexibility_degree() == flexibility_degree(recorded, mk)
+
+
+@given(mk_pairs)
+def test_executing_all_fd_zero_jobs_satisfies_mk(pair):
+    """The Theorem 1 invariant at the history level: if every FD=0 job
+    succeeds, the (m,k)-constraint holds for any skip behaviour."""
+    m, k = pair
+    mk = MKConstraint(m, k)
+    tracker = MKHistory(mk)
+    outcomes = []
+    # Adversarially skip every optional job (worst case for the window).
+    for _ in range(6 * k):
+        if tracker.flexibility_degree() == 0:
+            tracker.record(True)
+            outcomes.append(True)
+        else:
+            tracker.record(False)
+            outcomes.append(False)
+    assert mk.is_satisfied_by(outcomes)

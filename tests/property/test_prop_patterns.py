@@ -1,0 +1,67 @@
+"""Property-based tests for partitioning patterns."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.mk import MKConstraint
+from repro.model.patterns import EPattern, RPattern, pattern_satisfies_mk
+
+mk_pairs = st.integers(min_value=2, max_value=20).flatmap(
+    lambda k: st.tuples(st.integers(min_value=1, max_value=k), st.just(k))
+)
+
+
+@given(mk_pairs)
+def test_rpattern_every_window_satisfies_mk(pair):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    bits = RPattern(mk).bits(6 * k)
+    assert pattern_satisfies_mk(bits, mk)
+
+
+@given(mk_pairs)
+def test_epattern_every_window_satisfies_mk(pair):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    bits = EPattern(mk).bits(6 * k)
+    assert pattern_satisfies_mk(bits, mk)
+
+
+@given(mk_pairs)
+def test_patterns_place_exactly_m_per_window(pair):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    assert sum(RPattern(mk).window()) == m
+    assert sum(EPattern(mk).window()) == m
+
+
+@given(mk_pairs)
+def test_first_job_mandatory(pair):
+    m, k = pair
+    mk = MKConstraint(m, k)
+    assert RPattern(mk).is_mandatory(1)
+    assert EPattern(mk).is_mandatory(1)
+
+
+@given(mk_pairs, st.integers(min_value=0, max_value=200))
+def test_prefix_count_matches_enumeration(pair, count):
+    m, k = pair
+    pattern = RPattern(MKConstraint(m, k))
+    expected = sum(int(pattern.is_mandatory(j)) for j in range(1, count + 1))
+    assert pattern.mandatory_count_in(1, count) == expected
+
+
+@given(
+    mk_pairs,
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_range_count_is_additive(pair, lo, width):
+    m, k = pair
+    pattern = EPattern(MKConstraint(m, k))
+    hi = lo + width
+    left = pattern.mandatory_count_in(1, lo - 1)
+    right = pattern.mandatory_count_in(lo, hi)
+    assert left + right == pattern.mandatory_count_in(1, hi)

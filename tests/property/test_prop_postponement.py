@@ -1,0 +1,90 @@
+"""Property-based validation of the postponement analysis (Theorem 1's
+appendix claim): backups postponed by θ never miss, on random schedulable
+task sets."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.postponement import task_postponement_intervals
+from repro.analysis.promotion import promotion_times
+from repro.analysis.schedulability import (
+    is_rpattern_schedulable,
+    simulate_mandatory_fp,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+COMMON_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@st.composite
+def schedulable_tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    tasks = []
+    for _ in range(n):
+        period = draw(st.sampled_from([4, 5, 6, 8, 10, 12, 20]))
+        wcet = draw(st.integers(min_value=1, max_value=max(1, period // 2)))
+        k = draw(st.integers(min_value=2, max_value=6))
+        m = draw(st.integers(min_value=1, max_value=k - 1))
+        tasks.append(Task(period, period, wcet, m, k))
+    tasks.sort(key=lambda t: t.period)
+    ts = TaskSet(tasks)
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    assume(is_rpattern_schedulable(ts, base, horizon_ticks=horizon))
+    return ts
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=schedulable_tasksets())
+def test_theta_postponed_backups_meet_all_deadlines(ts):
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    result = task_postponement_intervals(ts, base, horizon_ticks=horizon)
+    ok, misses = simulate_mandatory_fp(
+        ts, base, horizon_ticks=horizon, release_offsets=result.thetas
+    )
+    assert ok, (result.thetas, misses)
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=schedulable_tasksets())
+def test_theta_at_least_promotion_time(ts):
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    result = task_postponement_intervals(ts, base, horizon_ticks=horizon)
+    promotions = promotion_times(ts, base)
+    assert all(
+        theta >= promo for theta, promo in zip(result.thetas, promotions)
+    )
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=schedulable_tasksets())
+def test_promotion_postponed_backups_meet_all_deadlines(ts):
+    """The Y-only fallback (MKSS_DP style) is safe as well."""
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    promotions = promotion_times(ts, base)
+    ok, misses = simulate_mandatory_fp(
+        ts, base, horizon_ticks=horizon, release_offsets=promotions
+    )
+    assert ok, (promotions, misses)
+
+
+@settings(**COMMON_SETTINGS)
+@given(ts=schedulable_tasksets())
+def test_highest_priority_theta_is_slack(ts):
+    """τ'1 has no interference: θ1 = D1 - C1 exactly."""
+    base = ts.timebase()
+    horizon = analysis_horizon(ts, base, 400)
+    result = task_postponement_intervals(ts, base, horizon_ticks=horizon)
+    expected = base.to_ticks(ts[0].deadline) - base.to_ticks(ts[0].wcet)
+    assert result.thetas[0] == expected

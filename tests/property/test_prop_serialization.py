@@ -1,0 +1,64 @@
+"""Property-based round-trip tests for serialization."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.workload.serialization import taskset_from_json, taskset_to_json
+
+
+@st.composite
+def tasksets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for index in range(n):
+        period = draw(
+            st.fractions(
+                min_value=Fraction(1),
+                max_value=Fraction(100),
+                max_denominator=20,
+            )
+        )
+        deadline = period * draw(
+            st.fractions(
+                min_value=Fraction(1, 2),
+                max_value=Fraction(1),
+                max_denominator=8,
+            )
+        )
+        wcet = deadline * draw(
+            st.fractions(
+                min_value=Fraction(1, 8),
+                max_value=Fraction(1),
+                max_denominator=8,
+            )
+        )
+        k = draw(st.integers(min_value=1, max_value=20))
+        m = draw(st.integers(min_value=1, max_value=k))
+        tasks.append(Task(period, deadline, wcet, m, k, name=f"t{index}"))
+    return TaskSet(tasks)
+
+
+@given(tasksets())
+def test_json_round_trip_is_lossless(ts):
+    restored = taskset_from_json(taskset_to_json(ts))
+    assert len(restored) == len(ts)
+    for original, back in zip(ts, restored):
+        assert back.period == original.period
+        assert back.deadline == original.deadline
+        assert back.wcet == original.wcet
+        assert back.mk == original.mk
+        assert back.name == original.name
+
+
+@given(tasksets())
+def test_round_trip_preserves_derived_quantities(ts):
+    restored = taskset_from_json(taskset_to_json(ts))
+    assert restored.utilization == ts.utilization
+    assert restored.mk_utilization == ts.mk_utilization
+    assert restored.timebase() == ts.timebase()

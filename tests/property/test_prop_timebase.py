@@ -1,0 +1,53 @@
+"""Property-based tests for the tick grid."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timebase import TimeBase, as_fraction
+
+fractions = st.fractions(
+    min_value=Fraction(0), max_value=Fraction(1000), max_denominator=1000
+)
+
+
+@given(st.lists(fractions, min_size=1, max_size=8))
+def test_all_values_land_exactly_on_grid(values):
+    base = TimeBase.for_values(values)
+    for value in values:
+        ticks = base.to_ticks(value)
+        assert base.from_ticks(ticks) == value
+
+
+@given(st.lists(fractions, min_size=1, max_size=8))
+def test_grid_is_coarsest_possible(values):
+    base = TimeBase.for_values(values)
+    if base.ticks_per_unit > 1:
+        for divisor in range(2, min(base.ticks_per_unit, 50) + 1):
+            if base.ticks_per_unit % divisor:
+                continue
+            coarser = TimeBase(base.ticks_per_unit // divisor)
+            exact = True
+            for value in values:
+                scaled = as_fraction(value) * coarser.ticks_per_unit
+                if scaled.denominator != 1:
+                    exact = False
+                    break
+            assert not exact, "a coarser grid would also have been exact"
+            break  # checking one divisor suffices for minimality-ish
+
+
+@given(fractions, fractions)
+def test_tick_arithmetic_is_exact(a, b):
+    base = TimeBase.for_values([a, b])
+    assert base.to_ticks(a) + base.to_ticks(b) == base.to_ticks(a + b)
+
+
+@given(st.floats(min_value=0.0, max_value=1e5, allow_nan=False))
+def test_float_decimal_roundtrip(value):
+    rounded = round(value, 3)
+    fraction = as_fraction(rounded)
+    assert float(fraction) == rounded

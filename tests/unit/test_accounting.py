@@ -1,0 +1,108 @@
+"""Unit tests for repro.energy.accounting."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.model.job import Job, JobRole
+from repro.sim.trace import ExecutionTrace
+from repro.timebase import TimeBase
+
+
+def trace_with_segments(segments):
+    trace = ExecutionTrace()
+    for processor, start, end in segments:
+        job = Job(0, 1, JobRole.MAIN, 0, 10**6, end - start, processor=processor)
+        trace.add_segment(processor, start, end, job)
+    return trace
+
+
+class TestActiveEnergy:
+    def test_busy_time_is_active_energy(self):
+        trace = trace_with_segments([(0, 0, 4), (1, 2, 5)])
+        report = energy_of(trace, TimeBase(1), 10, PowerModel.active_only())
+        assert report.active_units == 7
+        assert report.total_energy == 7.0
+
+    def test_window_truncation(self):
+        trace = trace_with_segments([(0, 0, 10)])
+        report = energy_of(trace, TimeBase(1), 6, PowerModel.active_only())
+        assert report.active_units == 6
+
+    def test_tick_scaling(self):
+        trace = trace_with_segments([(0, 0, 5)])
+        report = energy_of(trace, TimeBase(2), 10, PowerModel.active_only())
+        assert report.active_units == Fraction(5, 2)
+
+
+class TestIdleAndSleep:
+    def test_short_gap_costs_idle_power(self):
+        trace = trace_with_segments([(0, 0, 4), (0, 5, 10)])
+        model = PowerModel(idle_power=0.5, sleep_power=0.0, break_even=Fraction(2))
+        report = energy_of(trace, TimeBase(1), 10, model)
+        processor = report.per_processor[0]
+        assert processor.idle_units == 1
+        assert processor.idle_energy == pytest.approx(0.5)
+
+    def test_long_gap_sleeps(self):
+        trace = trace_with_segments([(0, 0, 2), (0, 8, 10)])
+        model = PowerModel(
+            idle_power=0.5, sleep_power=0.1, transition_energy=0.2,
+            break_even=Fraction(1),
+        )
+        report = energy_of(trace, TimeBase(1), 10, model)
+        processor = report.per_processor[0]
+        assert processor.sleep_units == 6
+        assert processor.transition_count == 1
+        assert processor.sleep_energy == pytest.approx(0.1 * 6 + 0.2)
+
+    def test_fully_idle_processor(self):
+        trace = trace_with_segments([(0, 0, 4)])
+        model = PowerModel.paper_default()
+        report = energy_of(trace, TimeBase(1), 10, model)
+        spare = report.per_processor[1]
+        assert spare.busy_units == 0
+        assert spare.sleep_units == 10
+
+
+class TestPermanentFaultTruncation:
+    def test_dead_processor_stops_consuming(self):
+        trace = trace_with_segments([(0, 0, 10), (1, 0, 3)])
+        report = energy_of(
+            trace,
+            TimeBase(1),
+            10,
+            PowerModel.paper_default(),
+            permanent_fault=(1, 3),
+        )
+        spare = report.per_processor[1]
+        assert spare.busy_units == 3
+        assert spare.idle_units == 0 and spare.sleep_units == 0
+
+
+class TestNormalization:
+    def test_normalized_to(self):
+        trace_a = trace_with_segments([(0, 0, 4)])
+        trace_b = trace_with_segments([(0, 0, 8)])
+        model = PowerModel.active_only()
+        a = energy_of(trace_a, TimeBase(1), 10, model)
+        b = energy_of(trace_b, TimeBase(1), 10, model)
+        assert a.normalized_to(b) == pytest.approx(0.5)
+
+    def test_normalized_to_zero_reference(self):
+        trace = trace_with_segments([(0, 0, 4)])
+        empty = ExecutionTrace()
+        model = PowerModel.active_only()
+        report = energy_of(trace, TimeBase(1), 10, model)
+        zero = energy_of(empty, TimeBase(1), 10, model)
+        assert report.normalized_to(zero) == float("inf")
+        assert zero.normalized_to(zero) == 0.0
+
+    def test_default_model_is_paper(self):
+        trace = trace_with_segments([(0, 0, 4)])
+        report = energy_of(trace, TimeBase(1), 10)
+        assert report.model.active_power == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for actual-execution-time models and engine integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSDualPriority, MKSSStatic
+from repro.schedulers.base import run_policy
+from repro.sim.engine import StandbySparingEngine
+from repro.workload.acet import (
+    ConstantRatioTimes,
+    UniformActualTimes,
+    WorstCaseTimes,
+)
+
+
+class TestModels:
+    def test_worst_case_returns_wcet(self):
+        model = WorstCaseTimes()
+        assert model(0, 1, 10) == 10
+
+    def test_constant_ratio(self):
+        model = ConstantRatioTimes(0.5)
+        assert model(0, 1, 10) == 5
+        assert model(0, 1, 1) == 1  # never below one tick
+
+    def test_constant_ratio_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRatioTimes(0.0)
+        with pytest.raises(ConfigurationError):
+            ConstantRatioTimes(1.5)
+
+    def test_uniform_within_bounds(self):
+        model = UniformActualTimes(0.3, seed=5)
+        for job in range(1, 100):
+            actual = model(0, job, 20)
+            assert 6 <= actual <= 20
+
+    def test_uniform_deterministic_per_job(self):
+        a = UniformActualTimes(0.3, seed=5)
+        b = UniformActualTimes(0.3, seed=5)
+        assert [a(1, j, 50) for j in range(1, 30)] == [
+            b(1, j, 50) for j in range(1, 30)
+        ]
+
+    def test_uniform_varies_across_jobs(self):
+        model = UniformActualTimes(0.2, seed=5)
+        values = {model(0, j, 100) for j in range(1, 30)}
+        assert len(values) > 5
+
+    def test_uniform_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            UniformActualTimes(0.0)
+
+
+class TestEngineIntegration:
+    def test_constant_ratio_halves_busy_time(self, fig1):
+        base = fig1.timebase()
+        horizon = 20 * base.ticks_per_unit
+        full = run_policy(fig1, MKSSStatic(), horizon, base)
+        # WCETs are 3 -> ratio 1/3 gives actual 1.
+        short = run_policy(
+            fig1,
+            MKSSStatic(),
+            horizon,
+            base,
+            execution_time_fn=ConstantRatioTimes(1 / 3),
+        )
+        assert short.busy_ticks() == full.busy_ticks() // 3
+        assert short.all_mk_satisfied()
+
+    def test_early_completion_cancels_more_backup(self, fig1):
+        """With ACET < WCET the DP backups are canceled with less overlap,
+        so the energy gap to ST widens."""
+        base = fig1.timebase()
+        horizon = 20 * base.ticks_per_unit
+
+        def active(policy, fn):
+            result = run_policy(fig1, policy, horizon, base, None, fn)
+            return energy_of(
+                result.trace, base, horizon, PowerModel.active_only()
+            ).active_units
+
+        full_dp = active(MKSSDualPriority(), None)
+        short_dp = active(MKSSDualPriority(), ConstantRatioTimes(2 / 3))
+        full_st = active(MKSSStatic(), None)
+        short_st = active(MKSSStatic(), ConstantRatioTimes(2 / 3))
+        assert short_dp / short_st < full_dp / full_st
+
+    def test_bad_execution_time_rejected(self, fig1):
+        base = fig1.timebase()
+        engine = StandbySparingEngine(
+            fig1,
+            MKSSStatic(),
+            20 * base.ticks_per_unit,
+            timebase=base,
+            execution_time_fn=lambda t, j, w: w + 1,
+        )
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_mk_still_guaranteed_with_variability(self):
+        ts = TaskSet([Task(5, 5, 2, 1, 2), Task(10, 10, 4, 2, 3)])
+        base = ts.timebase()
+        result = run_policy(
+            ts,
+            MKSSDualPriority(),
+            60 * base.ticks_per_unit,
+            base,
+            execution_time_fn=UniformActualTimes(0.3, seed=9),
+        )
+        assert result.all_mk_satisfied()

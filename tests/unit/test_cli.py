@@ -1,0 +1,134 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_taskset
+from repro.errors import ReproError
+
+
+class TestParseTaskset:
+    def test_two_tasks(self):
+        ts = parse_taskset("5,4,3,2,4; 10,10,3,1,2")
+        assert len(ts) == 2
+        assert ts[0].paper_tuple() == (5, 4, 3, 2, 4)
+
+    def test_fractional_fields(self):
+        ts = parse_taskset("5, 5/2, 2, 2, 4")
+        assert str(ts[0].deadline) == "5/2"
+
+    def test_trailing_semicolon_ok(self):
+        assert len(parse_taskset("5,5,1,1,2;")) == 1
+
+    def test_wrong_field_count(self):
+        with pytest.raises(ReproError):
+            parse_taskset("5,4,3,2")
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            parse_taskset(" ; ")
+
+
+class TestCommands:
+    def test_analyze_preset(self, capsys):
+        assert main(["analyze", "--preset", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "theta_i" in out and "7" in out and "4" in out
+
+    def test_analyze_inline(self, capsys):
+        code = main(["analyze", "--tasks", "5,4,3,2,4; 10,10,3,1,2"])
+        assert code == 0
+        assert "R-pattern schedulable: True" in capsys.readouterr().out
+
+    def test_simulate_dp_fig1(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--preset",
+                "fig1",
+                "--scheme",
+                "MKSS_DP",
+                "--horizon",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "active energy: 15" in out
+        assert "mk_violations: 0" in out
+
+    def test_simulate_without_gantt(self, capsys):
+        main(
+            [
+                "simulate",
+                "--preset",
+                "fig1",
+                "--no-gantt",
+                "--horizon",
+                "20",
+            ]
+        )
+        assert "primary" not in capsys.readouterr().out
+
+    def test_simulate_unknown_scheme_errors(self, capsys):
+        code = main(
+            ["simulate", "--preset", "fig1", "--scheme", "MKSS_Nope"]
+        )
+        assert code == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+    def test_missing_taskset_errors(self, capsys):
+        assert main(["analyze"]) == 2
+
+    def test_unknown_preset_errors(self, capsys):
+        assert main(["analyze", "--preset", "fig9"]) == 2
+
+    def test_examples_lists_presets(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig3", "fig5"):
+            assert name in out
+
+    def test_sweep_with_custom_bins(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--bins",
+                "0.4:0.5",
+                "--sets-per-bin",
+                "2",
+                "--horizon",
+                "300",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0.4,0.5)" in out
+        assert "legend:" in out
+
+
+class TestParseBins:
+    def test_valid(self):
+        from repro.cli import parse_bins
+
+        assert parse_bins("0.2:0.3, 0.5:0.6") == [(0.2, 0.3), (0.5, 0.6)]
+
+    def test_bad_format(self):
+        from repro.cli import parse_bins
+
+        with pytest.raises(ReproError):
+            parse_bins("0.2-0.3")
+
+    def test_inverted_bin(self):
+        from repro.cli import parse_bins
+
+        with pytest.raises(ReproError):
+            parse_bins("0.5:0.4")
+
+    def test_empty(self):
+        from repro.cli import parse_bins
+
+        with pytest.raises(ReproError):
+            parse_bins(" , ")

@@ -1,0 +1,52 @@
+"""Unit tests for repro.analysis.demand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.demand import (
+    mandatory_demand,
+    mandatory_job_count,
+    released_job_count,
+)
+from repro.errors import AnalysisError
+from repro.model.mk import MKConstraint
+from repro.model.patterns import RPattern
+
+
+class TestReleasedJobCount:
+    def test_ceiling_semantics(self):
+        assert released_job_count(5, 0) == 0
+        assert released_job_count(5, 1) == 1
+        assert released_job_count(5, 5) == 1
+        assert released_job_count(5, 6) == 2
+
+    def test_negative_interval(self):
+        assert released_job_count(5, -3) == 0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(AnalysisError):
+            released_job_count(0, 5)
+
+
+class TestMandatoryCounts:
+    def test_rpattern_prefix(self):
+        pattern = RPattern(MKConstraint(2, 4))
+        assert mandatory_job_count(pattern, 0) == 0
+        assert mandatory_job_count(pattern, 1) == 1
+        assert mandatory_job_count(pattern, 4) == 2
+        assert mandatory_job_count(pattern, 6) == 4
+
+    def test_demand_multiplies_by_wcet(self):
+        pattern = RPattern(MKConstraint(1, 2))
+        # interval 11, period 5 -> 3 releases, 2 mandatory, wcet 4 -> 8
+        assert mandatory_demand(pattern, 5, 4, 11) == 8
+
+    def test_demand_zero_interval(self):
+        pattern = RPattern(MKConstraint(1, 2))
+        assert mandatory_demand(pattern, 5, 4, 0) == 0
+
+    def test_demand_monotone_in_interval(self):
+        pattern = RPattern(MKConstraint(3, 7))
+        values = [mandatory_demand(pattern, 4, 2, t) for t in range(0, 120)]
+        assert all(b >= a for a, b in zip(values, values[1:]))

@@ -1,0 +1,74 @@
+"""Tests for MKSS_DP's main-placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSDualPriority
+from repro.schedulers.base import run_policy
+from repro.sim.engine import PRIMARY, SPARE
+
+
+def run(ts, policy, horizon_units):
+    base = ts.timebase()
+    return run_policy(ts, policy, horizon_units * base.ticks_per_unit, base)
+
+
+class TestSplitStrategies:
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MKSSDualPriority(split_strategy="random")
+
+    def test_alternate_matches_figure1(self, fig1, active_runner):
+        _, energy = active_runner(
+            fig1, MKSSDualPriority(split_strategy="alternate"), 20
+        )
+        assert energy == 15
+
+    def test_balance_spreads_heavy_tasks(self):
+        """Two heavy tasks and two light ones: balance puts one heavy on
+        each processor, alternate puts both heavies on the primary."""
+        ts = TaskSet(
+            [
+                Task(10, 10, 4, 1, 2, name="heavy1"),
+                Task(40, 40, 1, 1, 4, name="light1"),
+                Task(10, 10, 4, 1, 2, name="heavy2"),
+                Task(40, 40, 1, 1, 4, name="light2"),
+            ]
+        )
+        balance = MKSSDualPriority(split_strategy="balance")
+        run(ts, balance, 40)
+        heavy_processors = {balance.main_processor(0), balance.main_processor(2)}
+        assert heavy_processors == {PRIMARY, SPARE}
+
+        alternate = MKSSDualPriority(split_strategy="alternate")
+        run(ts, alternate, 40)
+        assert alternate.main_processor(0) == alternate.main_processor(2)
+
+    def test_balance_keeps_mk(self, fig1, fig5):
+        for ts, horizon in ((fig1, 20), (fig5, 30)):
+            result = run(ts, MKSSDualPriority(split_strategy="balance"), horizon)
+            assert result.all_mk_satisfied()
+
+    def test_balance_under_permanent_fault(self, fig1):
+        from repro.faults.scenario import FaultScenario
+
+        base = fig1.timebase()
+        for processor in (PRIMARY, SPARE):
+            result = run_policy(
+                fig1,
+                MKSSDualPriority(split_strategy="balance"),
+                20 * base.ticks_per_unit,
+                base,
+                FaultScenario.permanent_only(processor=processor, tick=4),
+            )
+            assert result.all_mk_satisfied()
+
+    def test_no_split_ignores_strategy(self):
+        policy = MKSSDualPriority(split_mains=False, split_strategy="balance")
+        ts = TaskSet([Task(10, 10, 1, 1, 2), Task(10, 10, 1, 1, 2)])
+        run(ts, policy, 20)
+        assert policy.main_processor(0) == PRIMARY
+        assert policy.main_processor(1) == PRIMARY

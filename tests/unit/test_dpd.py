@@ -1,0 +1,41 @@
+"""Unit tests for repro.energy.dpd."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.energy.dpd import DPDController, shutdown_decision
+from repro.energy.power import PowerModel
+
+
+class TestShutdownDecision:
+    def test_gap_below_break_even_stays_idle(self):
+        model = PowerModel.paper_default()  # T_be = 1
+        assert not shutdown_decision(Fraction(1, 2), model)
+        assert not shutdown_decision(Fraction(1), model)
+
+    def test_gap_above_break_even_sleeps(self):
+        model = PowerModel.paper_default()
+        assert shutdown_decision(Fraction(3, 2), model)
+
+    def test_transition_cost_blocks_marginal_shutdown(self):
+        model = PowerModel(
+            idle_power=0.1, sleep_power=0.0, transition_energy=10.0,
+            break_even=Fraction(1),
+        )
+        assert not shutdown_decision(Fraction(2), model)  # 10 > 0.2
+        assert shutdown_decision(Fraction(200), model)  # 10 < 20
+
+    def test_zero_power_model_still_follows_tbe_rule(self):
+        model = PowerModel.active_only()
+        assert shutdown_decision(Fraction(1, 100), model)
+
+
+class TestDPDController:
+    def test_tracks_shutdowns_and_idles(self):
+        controller = DPDController(PowerModel.paper_default())
+        assert controller.observe_gap(Fraction(0), Fraction(5))
+        assert not controller.observe_gap(Fraction(7), Fraction(15, 2))
+        assert controller.shutdown_count == 1
+        assert controller.sleep_time == 5
+        assert controller.idle_time == Fraction(1, 2)

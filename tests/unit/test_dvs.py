@@ -1,0 +1,60 @@
+"""Unit tests for the DVS extension model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.dvs import DVSModel, scaled_energy
+from repro.errors import ConfigurationError
+
+
+class TestDVSModel:
+    def test_power_at_full_speed(self):
+        model = DVSModel(alpha=3.0, static_power=0.1)
+        assert model.power_at(1.0) == pytest.approx(1.1)
+
+    def test_energy_scales_inverse_speed(self):
+        model = DVSModel(alpha=3.0, static_power=0.0)
+        # E(s) = s^2 * c; half speed quarters the energy.
+        assert model.energy_for(4, 0.5) == pytest.approx(1.0)
+        assert model.energy_for(4, 1.0) == pytest.approx(4.0)
+
+    def test_critical_speed_formula(self):
+        model = DVSModel(alpha=3.0, static_power=0.2, min_speed=0.05)
+        expected = (0.2 / 2.0) ** (1.0 / 3.0)
+        assert model.critical_speed() == pytest.approx(expected)
+
+    def test_critical_speed_clamped_to_min(self):
+        model = DVSModel(alpha=3.0, static_power=1e-6, min_speed=0.4)
+        assert model.critical_speed() == 0.4
+
+    def test_running_below_critical_wastes_energy(self):
+        """The paper's argument for DPD over DVS: leakage dominates."""
+        model = DVSModel(alpha=3.0, static_power=0.3, min_speed=0.05)
+        critical = model.critical_speed()
+        assert model.energy_for(1, max(0.05, critical / 2)) > model.energy_for(
+            1, critical
+        )
+
+    def test_speed_bounds_enforced(self):
+        model = DVSModel()
+        with pytest.raises(ConfigurationError):
+            model.power_at(0.01)
+        with pytest.raises(ConfigurationError):
+            model.power_at(1.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DVSModel(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            DVSModel(min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            DVSModel(static_power=-0.1)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVSModel().energy_for(-1, 0.5)
+
+    def test_scaled_energy_wrapper(self):
+        model = DVSModel(alpha=3.0, static_power=0.0)
+        assert scaled_energy(4, 1.0, model) == pytest.approx(4.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the analytical energy bounds (and vs-simulation checks)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.energy_bounds import (
+    backup_overlap_bound,
+    dp_energy_bound,
+    selective_energy_bound,
+    st_energy_bound,
+)
+from repro.energy.accounting import energy_of
+from repro.energy.power import PowerModel
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSDualPriority, MKSSSelective, MKSSStatic
+from repro.schedulers.base import run_policy
+
+
+class TestOverlapBound:
+    def test_slack_task_has_zero_overlap(self):
+        ts = TaskSet([Task(50, 50, 1, 1, 2)])
+        assert backup_overlap_bound(ts, 0) == 0
+
+    def test_tight_task_overlap(self, fig1):
+        # tau1: R = 3, theta = 1 -> overlap bound min(3, 2) = 2, the exact
+        # per-backup waste in Figure 1.
+        assert backup_overlap_bound(fig1, 0) == 2
+
+    def test_bounded_by_wcet(self):
+        ts = TaskSet([Task(4, 4, 2, 1, 2), Task(4, 4, 2, 1, 2)])
+        for index in range(2):
+            assert backup_overlap_bound(ts, index) <= 2
+
+
+class TestWindowBounds:
+    def test_st_bound(self):
+        task = Task(10, 10, 3, 2, 5)
+        assert st_energy_bound(task) == 12  # 2 * 2 * 3
+
+    def test_selective_bound_uses_rate(self):
+        task = Task(10, 10, 3, 2, 5)
+        # rate = 2/4, window cost = 5 * 1/2 * 3
+        assert selective_energy_bound(task) == Fraction(15, 2)
+
+    def test_dp_bound_between_mandatory_and_st(self, fig1):
+        for index, task in enumerate(fig1):
+            dp = dp_energy_bound(fig1, index)
+            assert task.mk.m * task.wcet <= dp <= st_energy_bound(task)
+
+
+class TestBoundsAgainstSimulation:
+    def _active(self, ts, policy, horizon_units):
+        base = ts.timebase()
+        horizon = horizon_units * base.ticks_per_unit
+        result = run_policy(ts, policy, horizon, base)
+        return energy_of(
+            result.trace, base, horizon, PowerModel.active_only()
+        ).active_units
+
+    def test_st_bound_is_exact_on_full_hyperperiod(self, fig1):
+        # Fig1: 1 window of tau1 (k*P=20) and 1 of tau2 over [0,20).
+        measured = self._active(fig1, MKSSStatic(), 20)
+        predicted = st_energy_bound(fig1[0]) + st_energy_bound(fig1[1])
+        assert measured == predicted
+
+    def test_dp_bound_upper_bounds_simulation(self, fig1):
+        measured = self._active(fig1, MKSSDualPriority(), 20)
+        predicted = dp_energy_bound(fig1, 0) + dp_energy_bound(fig1, 1)
+        assert measured <= predicted
+
+    def test_selective_steady_state_matches_bound(self):
+        """Over many windows the FD=1 rate prediction converges to the
+        simulated energy (single task, no interference)."""
+        ts = TaskSet([Task(10, 10, 2, 2, 4)])
+        horizon_units = 10 * 4 * 30  # 30 (m,k)-windows
+        measured = self._active(ts, MKSSSelective(), horizon_units)
+        predicted_per_window = selective_energy_bound(ts[0])
+        windows = Fraction(horizon_units, 10 * 4)
+        relative_error = abs(
+            measured - predicted_per_window * windows
+        ) / (predicted_per_window * windows)
+        assert relative_error < Fraction(1, 10)

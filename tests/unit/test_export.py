@@ -1,0 +1,135 @@
+"""Unit tests for result export and task-set serialization."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.schedulers import MKSSDualPriority
+from repro.sim.engine import StandbySparingEngine
+from repro.sim.export import (
+    result_to_dict,
+    result_to_json,
+    segments_to_csv,
+    write_result,
+)
+from repro.workload.serialization import (
+    load_taskset,
+    save_taskset,
+    taskset_from_json,
+    taskset_to_json,
+)
+
+
+@pytest.fixture
+def fig1_result(fig1):
+    return StandbySparingEngine(fig1, MKSSDualPriority(), 20).run()
+
+
+class TestResultExport:
+    def test_dict_structure(self, fig1_result):
+        payload = result_to_dict(fig1_result)
+        assert payload["policy"] == "MKSS_DP"
+        assert payload["horizon"] == "20"
+        assert len(payload["tasks"]) == 2
+        assert payload["mk_satisfied"] == [True, True]
+        assert payload["permanent_fault"] is None
+
+    def test_segments_are_time_ordered(self, fig1_result):
+        payload = result_to_dict(fig1_result)
+        from fractions import Fraction
+
+        starts = [Fraction(s["start"]) for s in payload["segments"]]
+        assert starts == sorted(starts)
+
+    def test_json_round_trips_through_loads(self, fig1_result):
+        document = result_to_json(fig1_result)
+        payload = json.loads(document)
+        assert payload["transient_fault_count"] == 0
+        assert any(r["outcome"] == "effective" for r in payload["records"])
+
+    def test_fractional_times_are_exact_strings(self, fig3):
+        result = StandbySparingEngine(fig3, MKSSDualPriority(), 50).run()
+        payload = result_to_dict(result)
+        assert payload["ticks_per_unit"] == 2
+        deadlines = {r["deadline"] for r in payload["records"]}
+        assert any("/" in d for d in deadlines)  # e.g. 5/2
+
+    def test_csv_has_one_row_per_segment(self, fig1_result):
+        text = segments_to_csv(fig1_result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["processor", "start", "end", "task", "job", "role"]
+        assert len(rows) - 1 == len(fig1_result.trace.segments)
+
+    def test_write_result_by_extension(self, fig1_result, tmp_path):
+        json_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        write_result(fig1_result, str(json_path))
+        write_result(fig1_result, str(csv_path))
+        assert json.loads(json_path.read_text())["policy"] == "MKSS_DP"
+        assert csv_path.read_text().startswith("processor,")
+
+
+class TestTasksetSerialization:
+    def test_round_trip(self, fig3):
+        document = taskset_to_json(fig3)
+        restored = taskset_from_json(document)
+        assert [t.paper_tuple() for t in restored] == [
+            t.paper_tuple() for t in fig3
+        ]
+        assert [t.name for t in restored] == [t.name for t in fig3]
+
+    def test_file_round_trip(self, fig1, tmp_path):
+        path = tmp_path / "ts.json"
+        save_taskset(fig1, str(path))
+        restored = load_taskset(str(path))
+        assert [t.paper_tuple() for t in restored] == [
+            t.paper_tuple() for t in fig1
+        ]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WorkloadError):
+            taskset_from_json("{not json")
+
+    def test_missing_tasks_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            taskset_from_json('{"whatever": []}')
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(WorkloadError):
+            taskset_from_json('{"tasks": []}')
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(WorkloadError):
+            taskset_from_json('{"tasks": [{"period": "5"}]}')
+
+    def test_cli_tasks_file(self, fig1, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ts.json"
+        save_taskset(fig1, str(path))
+        assert main(["analyze", "--tasks-file", str(path)]) == 0
+        assert "R-pattern schedulable: True" in capsys.readouterr().out
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "simulate",
+                "--preset",
+                "fig1",
+                "--horizon",
+                "20",
+                "--no-gantt",
+                "--export",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["policy"] == "MKSS_Selective"

@@ -1,0 +1,139 @@
+"""Unit tests for the fault models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.permanent import random_permanent_fault
+from repro.faults.scenario import FaultScenario
+from repro.faults.transient import (
+    PAPER_FAULT_RATE,
+    NoTransientFaults,
+    PoissonTransientFaults,
+)
+from repro.faults.types import PermanentFault
+from repro.model.job import Job, JobRole
+from repro.timebase import TimeBase
+
+
+def make_job(wcet=1000):
+    return Job(0, 1, JobRole.MAIN, 0, 10**9, wcet, processor=0)
+
+
+class TestPermanentFault:
+    def test_valid(self):
+        fault = PermanentFault(1, 500)
+        assert fault.as_tuple() == (1, 500)
+
+    def test_bad_processor(self):
+        with pytest.raises(ConfigurationError):
+            PermanentFault(2, 0)
+
+    def test_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            PermanentFault(0, -1)
+
+    def test_random_draw_within_horizon(self):
+        for seed in range(20):
+            fault = random_permanent_fault(1000, seed=seed)
+            assert 0 <= fault.time_ticks < 1000
+            assert fault.processor in (0, 1)
+
+    def test_random_draw_reproducible(self):
+        assert (
+            random_permanent_fault(1000, seed=7).as_tuple()
+            == random_permanent_fault(1000, seed=7).as_tuple()
+        )
+
+    def test_forced_processor(self):
+        fault = random_permanent_fault(1000, seed=3, processor=1)
+        assert fault.processor == 1
+
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            random_permanent_fault(0)
+
+
+class TestTransientFaults:
+    def test_no_faults_oracle(self):
+        oracle = NoTransientFaults()
+        assert not oracle.job_faulted(make_job(), 5)
+
+    def test_probability_formula(self):
+        import math
+
+        oracle = PoissonTransientFaults(0.001, TimeBase(1), seed=0)
+        assert oracle.fault_probability(1000) == pytest.approx(
+            1 - math.exp(-1.0)
+        )
+
+    def test_zero_rate_never_faults(self):
+        oracle = PoissonTransientFaults(0.0, TimeBase(1), seed=0)
+        assert all(not oracle.job_faulted(make_job(), t) for t in range(100))
+
+    def test_rate_one_hits_often(self):
+        oracle = PoissonTransientFaults(1.0, TimeBase(1), seed=42)
+        hits = sum(oracle.job_faulted(make_job(5), t) for t in range(200))
+        assert hits > 150  # p ~ 0.993 per job
+
+    def test_paper_rate_is_rare(self):
+        oracle = PoissonTransientFaults(PAPER_FAULT_RATE, TimeBase(1), seed=1)
+        hits = sum(oracle.job_faulted(make_job(10), t) for t in range(2000))
+        assert hits <= 2
+
+    def test_tick_scaling_in_probability(self):
+        coarse = PoissonTransientFaults(0.1, TimeBase(1), seed=0)
+        fine = PoissonTransientFaults(0.1, TimeBase(10), seed=0)
+        assert coarse.fault_probability(10) == pytest.approx(
+            fine.fault_probability(100)
+        )
+
+    def test_counters(self):
+        oracle = PoissonTransientFaults(1.0, TimeBase(1), seed=0)
+        for t in range(50):
+            oracle.job_faulted(make_job(100), t)
+        assert oracle.draws == 50
+        assert oracle.faults == 50  # p ~ 1 at this rate and size
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTransientFaults(-0.1, TimeBase(1))
+
+    def test_shared_rng_accepted(self):
+        rng = random.Random(0)
+        oracle = PoissonTransientFaults(0.5, TimeBase(1), seed=rng)
+        assert oracle._rng is rng
+
+
+class TestFaultScenario:
+    def test_none_scenario(self):
+        transient, permanent = FaultScenario.none().materialize(100, TimeBase(1))
+        assert isinstance(transient, NoTransientFaults)
+        assert permanent is None
+
+    def test_permanent_only(self):
+        scenario = FaultScenario.permanent_only(seed=5)
+        transient, permanent = scenario.materialize(100, TimeBase(1))
+        assert isinstance(transient, NoTransientFaults)
+        assert permanent is not None
+        assert 0 <= permanent[1] < 100
+
+    def test_permanent_reproducible(self):
+        a = FaultScenario.permanent_only(seed=5).materialize(100, TimeBase(1))
+        b = FaultScenario.permanent_only(seed=5).materialize(100, TimeBase(1))
+        assert a[1] == b[1]
+
+    def test_forced_permanent_spec(self):
+        scenario = FaultScenario.permanent_only(processor=1, tick=42)
+        _, permanent = scenario.materialize(100, TimeBase(1))
+        assert permanent == (1, 42)
+
+    def test_permanent_and_transient(self):
+        scenario = FaultScenario.permanent_and_transient(seed=9)
+        transient, permanent = scenario.materialize(100, TimeBase(1))
+        assert isinstance(transient, PoissonTransientFaults)
+        assert transient.rate == PAPER_FAULT_RATE
+        assert permanent is not None

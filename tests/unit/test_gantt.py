@@ -1,0 +1,73 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers import MKSSDualPriority
+from repro.sim.engine import StandbySparingEngine
+from repro.sim.gantt import render_gantt
+from repro.timebase import TimeBase
+
+
+@pytest.fixture
+def fig1_result(fig1):
+    return StandbySparingEngine(fig1, MKSSDualPriority(), 20).run()
+
+
+class TestRenderGantt:
+    def test_contains_both_lanes(self, fig1_result):
+        text = render_gantt(
+            fig1_result.trace, fig1_result.timebase, fig1_result.horizon_ticks
+        )
+        assert "primary" in text and "spare" in text
+
+    def test_legend_toggle(self, fig1_result):
+        with_legend = render_gantt(
+            fig1_result.trace, fig1_result.timebase, fig1_result.horizon_ticks
+        )
+        without = render_gantt(
+            fig1_result.trace,
+            fig1_result.timebase,
+            fig1_result.horizon_ticks,
+            legend=False,
+        )
+        assert "legend" in with_legend
+        assert "legend" not in without
+
+    def test_busy_cells_match_busy_time(self, fig1_result):
+        text = render_gantt(
+            fig1_result.trace,
+            fig1_result.timebase,
+            fig1_result.horizon_ticks,
+            legend=False,
+        )
+        primary_row = text.splitlines()[0]
+        cells = primary_row.split("|")[1]
+        assert len(cells) == 20
+        # Figure 1's primary: mains [0,3) and [5,8), backup [3,5).
+        assert cells.count(".") == 20 - 8
+
+    def test_idle_trace_renders_dots(self, fig1_result):
+        from repro.sim.trace import ExecutionTrace
+
+        empty = ExecutionTrace()
+        text = render_gantt(empty, TimeBase(1), 10, legend=False)
+        assert "." * 10 in text
+
+    def test_bad_cell_units_rejected(self, fig1_result):
+        with pytest.raises((ConfigurationError, Exception)):
+            render_gantt(
+                fig1_result.trace,
+                fig1_result.timebase,
+                fig1_result.horizon_ticks,
+                cell_units=0,
+            )
+
+    def test_fractional_cells(self, fig3):
+        result = StandbySparingEngine(fig3, MKSSDualPriority(), 50).run()
+        text = render_gantt(
+            result.trace, result.timebase, result.horizon_ticks, cell_units="1/2"
+        )
+        assert "primary" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the paper-style random task set generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hyperperiod import analysis_horizon
+from repro.analysis.schedulability import is_rpattern_schedulable
+from repro.errors import WorkloadError
+from repro.workload.generator import (
+    DEFAULT_PERIOD_CHOICES,
+    GeneratorConfig,
+    TaskSetGenerator,
+    generate_binned_tasksets,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_paper(self):
+        cfg = GeneratorConfig()
+        assert cfg.min_tasks == 5 and cfg.max_tasks == 10
+        assert cfg.k_range == (2, 20)
+        assert all(5 <= p <= 50 for p in DEFAULT_PERIOD_CHOICES)
+
+    def test_bad_task_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(min_tasks=5, max_tasks=3)
+
+    def test_bad_k_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(k_range=(1, 20))
+
+
+class TestTaskSetGenerator:
+    def test_generated_sets_respect_paper_ranges(self):
+        generator = TaskSetGenerator(seed=42)
+        for _ in range(5):
+            ts = generator.generate(0.4)
+            assert 5 <= len(ts) <= 10
+            for task in ts:
+                assert 5 <= task.period <= 50
+                assert 2 <= task.k <= 20
+                assert 0 < task.m < task.k or task.m == task.k
+                assert 0 < task.wcet <= task.deadline
+
+    def test_generated_sets_are_schedulable(self):
+        generator = TaskSetGenerator(seed=1)
+        for target in (0.3, 0.6):
+            ts = generator.generate(target)
+            base = ts.timebase()
+            horizon = analysis_horizon(ts, base, 2000)
+            assert is_rpattern_schedulable(ts, base, horizon_ticks=horizon)
+
+    def test_priorities_are_rate_monotonic(self):
+        ts = TaskSetGenerator(seed=5).generate(0.5)
+        periods = [t.period for t in ts]
+        assert periods == sorted(periods)
+
+    def test_reproducible(self):
+        a = TaskSetGenerator(seed=9).generate(0.5)
+        b = TaskSetGenerator(seed=9).generate(0.5)
+        assert [t.paper_tuple() for t in a] == [t.paper_tuple() for t in b]
+
+    def test_arbitrary_periods_mode(self):
+        cfg = GeneratorConfig(period_choices=None)
+        ts = TaskSetGenerator(cfg, seed=3).generate(0.3)
+        assert all(5 <= t.period <= 50 for t in ts)
+
+    def test_impossible_target_raises(self):
+        cfg = GeneratorConfig(max_attempts_per_set=5)
+        generator = TaskSetGenerator(cfg, seed=0)
+        with pytest.raises(WorkloadError):
+            generator.generate(5.0)  # utilization 5 on one processor
+
+
+class TestBinnedGeneration:
+    def test_bins_filled_with_matching_utilization(self):
+        bins = [(0.2, 0.3), (0.4, 0.5)]
+        result = generate_binned_tasksets(bins, sets_per_bin=3, seed=11)
+        for bin_range, tasksets in result.items():
+            assert len(tasksets) == 3
+            for ts in tasksets:
+                assert bin_range[0] <= float(ts.mk_utilization) < bin_range[1]
+
+    def test_gives_up_gracefully_on_hopeless_bin(self):
+        result = generate_binned_tasksets(
+            [(2.5, 2.6)], sets_per_bin=2, seed=0, max_draws_per_bin=20
+        )
+        assert result[(2.5, 2.6)] == []

@@ -1,0 +1,136 @@
+"""Unit tests for repro.model.history (flexibility degree, Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.history import MKHistory, flexibility_degree
+from repro.model.mk import MKConstraint
+
+
+class TestFlexibilityDegreeFunction:
+    def test_paper_footnote_values(self):
+        """Figure 2's footnote: FD=1 for τ2 (1,2), FD=2 for τ1 (2,4)."""
+        assert flexibility_degree([], MKConstraint(1, 2)) == 1
+        assert flexibility_degree([], MKConstraint(2, 4)) == 2
+
+    def test_fig2_trace_histories(self):
+        mk = MKConstraint(2, 4)
+        assert flexibility_degree([True, True, False], mk) == 1
+        assert flexibility_degree([True, False, True], mk) == 1
+        assert flexibility_degree([False, True, True], mk) == 2
+        assert flexibility_degree([False, False, True], mk) == 0
+
+    def test_upper_bound_k_minus_m(self):
+        for m, k in [(1, 2), (2, 4), (3, 8), (1, 20)]:
+            assert flexibility_degree([], MKConstraint(m, k)) == k - m
+
+    def test_all_misses_means_mandatory(self):
+        mk = MKConstraint(2, 4)
+        assert flexibility_degree([False, False, False], mk) == 0
+
+    def test_only_last_k_minus_1_matter(self):
+        mk = MKConstraint(1, 2)
+        long_history = [False] * 10 + [True]
+        assert flexibility_degree(long_history, mk) == 1
+
+    def test_short_history_padded_with_successes(self):
+        mk = MKConstraint(2, 4)
+        # history [False] ~ [1, 1, 0]
+        assert flexibility_degree([False], mk) == flexibility_degree(
+            [True, True, False], mk
+        )
+
+    def test_hard_task_fd_zero(self):
+        assert flexibility_degree([], MKConstraint(3, 3)) == 0
+
+
+class TestMKHistory:
+    def test_initial_all_met(self):
+        history = MKHistory(MKConstraint(2, 4))
+        assert history.flexibility_degree() == 2
+        assert not history.next_is_mandatory()
+
+    def test_initial_all_missed_matches_rpattern_pessimism(self):
+        history = MKHistory(MKConstraint(2, 4), initial_met=False)
+        assert history.flexibility_degree() == 0
+        assert history.next_is_mandatory()
+
+    def test_record_updates_window(self):
+        history = MKHistory(MKConstraint(2, 4))
+        history.record(False)
+        assert history.flexibility_degree() == 1
+        history.record(False)
+        assert history.flexibility_degree() == 0
+
+    def test_success_restores_flexibility(self):
+        history = MKHistory(MKConstraint(2, 4))
+        history.record(False)
+        history.record(True)
+        history.record(True)
+        assert history.flexibility_degree() == 2
+
+    def test_counters(self):
+        history = MKHistory(MKConstraint(1, 3))
+        for outcome in (True, False, True, False):
+            history.record(outcome)
+        assert history.recorded == 4
+        assert history.misses == 2
+
+    def test_outcomes_window_size(self):
+        history = MKHistory(MKConstraint(2, 5))
+        for _ in range(10):
+            history.record(True)
+        assert len(history.outcomes()) == 4
+
+    def test_k1_history_degenerate(self):
+        history = MKHistory(MKConstraint(1, 1))
+        assert history.flexibility_degree() == 0
+        history.record(True)
+        assert history.flexibility_degree() == 0
+
+    def test_would_violate_lookahead(self):
+        history = MKHistory(MKConstraint(1, 2))
+        history.record(False)
+        assert history.would_violate([False])
+        assert not history.would_violate([True])
+
+    def test_invalid_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            MKHistory("nope")  # type: ignore[arg-type]
+
+    def test_repr_shows_window(self):
+        history = MKHistory(MKConstraint(2, 4))
+        history.record(False)
+        assert "110" in repr(history)
+
+
+class TestSelectiveSteadyState:
+    """The FD=1 rule's long-run execution rates, as derived in DESIGN.md."""
+
+    def test_mk_1_2_selects_every_job(self):
+        history = MKHistory(MKConstraint(1, 2))
+        selected = 0
+        for _ in range(20):
+            fd = history.flexibility_degree()
+            if fd == 1:
+                selected += 1
+                history.record(True)
+            else:
+                history.record(False)
+        assert selected == 20
+
+    def test_mk_2_4_selects_two_of_three(self):
+        history = MKHistory(MKConstraint(2, 4))
+        outcomes = []
+        for _ in range(30):
+            fd = history.flexibility_degree()
+            if fd == 1:
+                history.record(True)
+                outcomes.append(1)
+            else:
+                history.record(False)
+                outcomes.append(0)
+        # After the initial free skips the cycle is (skip, exec, exec).
+        assert sum(outcomes[-12:]) == 8

@@ -1,0 +1,60 @@
+"""Unit tests for repro.analysis.hyperperiod."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hyperperiod import (
+    analysis_horizon,
+    lcm_ticks,
+    mk_hyperperiod_ticks,
+)
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_ticks([4, 6]) == 12
+        assert lcm_ticks([5]) == 5
+        assert lcm_ticks([2, 3, 7]) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            lcm_ticks([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(AnalysisError):
+            lcm_ticks([4, 0])
+
+
+class TestMkHyperperiod:
+    def test_fig1(self, fig1):
+        base = fig1.timebase()
+        assert mk_hyperperiod_ticks(fig1, base) == 20
+
+    def test_prefix_restriction(self):
+        ts = TaskSet([Task(5, 5, 1, 1, 2), Task(7, 7, 1, 1, 3)])
+        base = ts.timebase()
+        assert mk_hyperperiod_ticks(ts, base, upto_priority=0) == 10
+        assert mk_hyperperiod_ticks(ts, base) == 210
+
+
+class TestAnalysisHorizon:
+    def test_cap_applies(self):
+        ts = TaskSet([Task(7, 7, 1, 1, 13), Task(11, 11, 1, 1, 17)])
+        base = ts.timebase()
+        assert analysis_horizon(ts, base, cap_units=100) == 100
+
+    def test_no_cap_returns_full(self, fig1):
+        base = fig1.timebase()
+        assert analysis_horizon(fig1, base, cap_units=None) == 20
+
+    def test_short_hyperperiod_not_padded(self, fig1):
+        base = fig1.timebase()
+        assert analysis_horizon(fig1, base, cap_units=5000) == 20
+
+    def test_bad_cap_rejected(self, fig1):
+        with pytest.raises(AnalysisError):
+            analysis_horizon(fig1, fig1.timebase(), cap_units=0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.model.mk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.mk import MKConstraint
+
+
+class TestConstruction:
+    def test_valid(self):
+        mk = MKConstraint(2, 4)
+        assert mk.m == 2 and mk.k == 4
+
+    def test_m_zero_rejected(self):
+        with pytest.raises(ModelError):
+            MKConstraint(0, 4)
+
+    def test_m_above_k_rejected(self):
+        with pytest.raises(ModelError):
+            MKConstraint(5, 4)
+
+    def test_hard_constraint_allowed(self):
+        assert MKConstraint(4, 4).is_hard
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ModelError):
+            MKConstraint(1.5, 4)  # type: ignore[arg-type]
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ModelError):
+            MKConstraint(1, 0)
+
+    def test_str(self):
+        assert str(MKConstraint(2, 4)) == "(2,4)"
+
+
+class TestProperties:
+    def test_max_consecutive_misses(self):
+        assert MKConstraint(2, 4).max_consecutive_misses == 2
+        assert MKConstraint(1, 2).max_consecutive_misses == 1
+        assert MKConstraint(3, 3).max_consecutive_misses == 0
+
+    def test_frozen(self):
+        mk = MKConstraint(1, 3)
+        with pytest.raises(AttributeError):
+            mk.m = 2  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({MKConstraint(1, 2), MKConstraint(1, 2)}) == 1
+
+
+class TestSatisfaction:
+    def test_short_sequence_passes(self):
+        assert MKConstraint(2, 4).is_satisfied_by([False, False, False])
+
+    def test_exact_window_pass(self):
+        assert MKConstraint(2, 4).is_satisfied_by([True, False, True, False])
+
+    def test_exact_window_fail(self):
+        assert not MKConstraint(2, 4).is_satisfied_by(
+            [True, False, False, False]
+        )
+
+    def test_sliding_window_detects_interior_violation(self):
+        # Windows: [1,1,0,0] ok, [1,0,0,0] bad.
+        outcomes = [True, True, False, False, False]
+        assert not MKConstraint(2, 4).is_satisfied_by(outcomes)
+
+    def test_all_success(self):
+        assert MKConstraint(3, 5).is_satisfied_by([True] * 20)
+
+    def test_mk_11_requires_every_other(self):
+        mk = MKConstraint(1, 2)
+        assert mk.is_satisfied_by([True, False] * 10)
+        assert not mk.is_satisfied_by([True, False, False, True])
+
+    def test_hard_task_rejects_any_miss(self):
+        mk = MKConstraint(2, 2)
+        assert mk.is_satisfied_by([True, True, True])
+        assert not mk.is_satisfied_by([True, False, True])

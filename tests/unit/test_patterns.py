@@ -1,0 +1,96 @@
+"""Unit tests for repro.model.patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.mk import MKConstraint
+from repro.model.patterns import (
+    EPattern,
+    RPattern,
+    pattern_satisfies_mk,
+)
+
+
+class TestRPattern:
+    def test_equation_one(self):
+        """π_ij = 1 iff 1 <= j mod k <= m (the paper's Equation 1)."""
+        pattern = RPattern(MKConstraint(2, 4))
+        assert pattern.bits(8) == [1, 1, 0, 0, 1, 1, 0, 0]
+
+    def test_first_job_always_mandatory(self):
+        for m, k in [(1, 2), (2, 5), (4, 5), (1, 20)]:
+            assert RPattern(MKConstraint(m, k)).is_mandatory(1)
+
+    def test_window_has_exactly_m_ones(self):
+        for m, k in [(1, 2), (2, 4), (3, 7), (19, 20)]:
+            assert sum(RPattern(MKConstraint(m, k)).window()) == m
+
+    def test_job_index_must_be_positive(self):
+        with pytest.raises(ModelError):
+            RPattern(MKConstraint(1, 2)).is_mandatory(0)
+
+    def test_periodicity(self):
+        pattern = RPattern(MKConstraint(2, 5))
+        for j in range(1, 30):
+            assert pattern.is_mandatory(j) == pattern.is_mandatory(j + 5)
+
+
+class TestEPattern:
+    def test_even_spread_2_of_4(self):
+        assert EPattern(MKConstraint(2, 4)).window() == [1, 0, 1, 0]
+
+    def test_first_job_always_mandatory(self):
+        for m, k in [(1, 2), (2, 5), (4, 5), (7, 13)]:
+            assert EPattern(MKConstraint(m, k)).is_mandatory(1)
+
+    def test_window_has_exactly_m_ones(self):
+        for m in range(1, 10):
+            for k in range(m + 1, 12):
+                assert sum(EPattern(MKConstraint(m, k)).window()) == m
+
+    def test_every_window_satisfies_mk(self):
+        for m, k in [(2, 5), (3, 7), (5, 8)]:
+            mk = MKConstraint(m, k)
+            bits = EPattern(mk).bits(5 * k)
+            assert pattern_satisfies_mk(bits, mk)
+
+
+class TestCounting:
+    def test_prefix_count_matches_bits(self):
+        pattern = RPattern(MKConstraint(3, 7))
+        bits = pattern.bits(50)
+        for hi in range(51):
+            assert pattern.mandatory_count_in(1, hi) == sum(bits[:hi])
+
+    def test_range_count(self):
+        pattern = RPattern(MKConstraint(2, 4))
+        # jobs 3..6 -> bits [0,0,1,1]
+        assert pattern.mandatory_count_in(3, 6) == 2
+
+    def test_empty_range_is_zero(self):
+        pattern = RPattern(MKConstraint(2, 4))
+        assert pattern.mandatory_count_in(5, 4) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ModelError):
+            RPattern(MKConstraint(2, 4)).bits(-1)
+
+    def test_iter_mandatory_indices(self):
+        pattern = RPattern(MKConstraint(1, 3))
+        it = pattern.iter_mandatory_indices()
+        assert [next(it) for _ in range(3)] == [1, 4, 7]
+
+
+class TestPatternSatisfiesMK:
+    def test_short_ok(self):
+        assert pattern_satisfies_mk([0, 0], MKConstraint(1, 3))
+
+    def test_violating_window(self):
+        assert not pattern_satisfies_mk([1, 0, 0, 0], MKConstraint(2, 4))
+
+    def test_moving_violation(self):
+        assert not pattern_satisfies_mk(
+            [1, 1, 0, 0, 0], MKConstraint(2, 4)
+        )

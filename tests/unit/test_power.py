@@ -1,0 +1,40 @@
+"""Unit tests for repro.energy.power."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+class TestPowerModel:
+    def test_paper_default(self):
+        model = PowerModel.paper_default()
+        assert model.active_power == 1.0
+        assert model.break_even == 1
+
+    def test_active_only(self):
+        model = PowerModel.active_only()
+        assert model.idle_power == 0.0
+        assert model.sleep_power == 0.0
+        assert model.break_even == 0
+
+    def test_custom_break_even_fraction(self):
+        model = PowerModel.paper_default(break_even="3/2")
+        assert model.break_even == Fraction(3, 2)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(active_power=-1)
+
+    def test_negative_break_even_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(break_even=-1)
+
+    def test_frozen(self):
+        model = PowerModel()
+        with pytest.raises(AttributeError):
+            model.active_power = 2.0  # type: ignore[misc]

@@ -1,0 +1,32 @@
+"""Unit tests for repro.analysis.promotion."""
+
+from __future__ import annotations
+
+from repro.analysis.promotion import promotion_time, promotion_times
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestPromotionTimes:
+    def test_fig1_values(self, fig1):
+        assert promotion_times(fig1) == [1, 1]
+
+    def test_fig5_values(self, fig5):
+        # Y1 = 10 - 3 = 7; Y2 = 15 - 14 = 1 (mandatory-aware response).
+        assert promotion_times(fig5) == [7, 1]
+
+    def test_highest_priority_promotion(self):
+        ts = TaskSet([Task(10, 8, 3, 1, 2)])
+        assert promotion_time(ts, 0) == 5
+
+    def test_zero_when_response_exceeds_deadline(self):
+        # Mandatory utilization is fine but the first window is overloaded:
+        # both tasks fully mandatory with C=P.
+        ts = TaskSet([Task(2, 2, 2, 2, 2), Task(4, 4, 2, 2, 2)])
+        assert promotion_time(ts, 1) == 0
+
+    def test_never_negative(self):
+        ts = TaskSet(
+            [Task(3, 3, 2, 2, 2), Task(9, 9, 2, 1, 3), Task(18, 18, 2, 1, 6)]
+        )
+        assert all(y >= 0 for y in promotion_times(ts))

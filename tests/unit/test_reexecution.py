@@ -1,0 +1,108 @@
+"""Unit tests for the re-execution (software redundancy) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.scenario import FaultScenario
+from repro.model.job import JobRole
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSSelective, ReExecutionFP
+from repro.schedulers.base import run_policy
+from repro.sim.engine import PRIMARY, SPARE, StandbySparingEngine
+
+
+@pytest.fixture
+def one_task():
+    return TaskSet([Task(10, 10, 3, 1, 2)])
+
+
+def fault_first_n(n):
+    """Oracle faulting the first n completions, then clean."""
+    state = {"left": n}
+
+    def oracle(job, now):
+        if state["left"] > 0:
+            state["left"] -= 1
+            return True
+        return False
+
+    return oracle
+
+
+class TestRecovery:
+    def test_faulted_job_is_reexecuted_and_succeeds(self, one_task):
+        engine = StandbySparingEngine(
+            one_task,
+            ReExecutionFP(),
+            10,
+            transient_fault_fn=fault_first_n(1),
+        )
+        result = engine.run()
+        assert result.trace.outcomes_for_task(0) == [True]
+        # Two executions of the same logical job on one processor.
+        assert result.busy_ticks(PRIMARY) == 6
+        assert result.busy_ticks(SPARE) == 0
+        assert any(e.kind == "recovery" for e in result.trace.events)
+
+    def test_repeated_faults_bounded_by_max_recoveries(self, one_task):
+        engine = StandbySparingEngine(
+            one_task,
+            ReExecutionFP(max_recoveries=2),
+            10,
+            transient_fault_fn=lambda job, now: True,
+        )
+        result = engine.run()
+        # original + 2 recoveries, all faulted -> miss.
+        assert result.trace.outcomes_for_task(0) == [False]
+        assert result.busy_ticks(PRIMARY) == 9
+
+    def test_recovery_skipped_when_deadline_unreachable(self):
+        ts = TaskSet([Task(10, 4, 3, 1, 1)])
+        engine = StandbySparingEngine(
+            ts,
+            ReExecutionFP(),
+            10,
+            transient_fault_fn=fault_first_n(1),
+        )
+        result = engine.run()
+        # First run [0,3) faults; 3 + 3 > 4 so no recovery is attempted.
+        assert result.busy_ticks(PRIMARY) == 3
+        assert result.trace.outcomes_for_task(0) == [False]
+
+    def test_no_faults_means_plain_selective_behaviour(self, one_task):
+        result = run_policy(
+            one_task, ReExecutionFP(), 40 * one_task.timebase().ticks_per_unit
+        )
+        assert result.all_mk_satisfied()
+        assert result.busy_ticks(SPARE) == 0
+
+
+class TestComparisonWithStandbySparing:
+    def test_cheaper_than_standby_sparing_without_faults(self):
+        ts = TaskSet([Task(10, 10, 3, 2, 2), Task(20, 20, 4, 1, 2)])
+        base = ts.timebase()
+        horizon = 200 * base.ticks_per_unit
+        reexec = run_policy(ts, ReExecutionFP(), horizon, base)
+        sparing = run_policy(ts, MKSSSelective(), horizon, base)
+        assert reexec.busy_ticks() <= sparing.busy_ticks()
+        assert reexec.all_mk_satisfied()
+
+    def test_does_not_survive_its_processor_dying_alone(self):
+        """Re-execution has no hardware redundancy: if its processor dies
+        it must migrate (here: engine reroutes future releases only), so
+        in-flight work at the fault instant is lost."""
+        ts = TaskSet([Task(10, 10, 9, 1, 1)])
+        scenario = FaultScenario.permanent_only(processor=PRIMARY, tick=5)
+        base = ts.timebase()
+        result = run_policy(ts, ReExecutionFP(), 10, base, scenario)
+        # The only job was mid-flight on the dead processor: missed.
+        assert result.trace.outcomes_for_task(0) == [False]
+
+    def test_standby_sparing_survives_the_same_fault(self):
+        ts = TaskSet([Task(10, 10, 9, 1, 1)])
+        scenario = FaultScenario.permanent_only(processor=PRIMARY, tick=5)
+        base = ts.timebase()
+        result = run_policy(ts, MKSSSelective(), 10, base, scenario)
+        assert result.trace.outcomes_for_task(0) == [True]

@@ -1,0 +1,105 @@
+"""Unit tests for the reliability analysis, incl. a Monte Carlo check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.reliability import (
+    fault_probability,
+    job_failure_probability,
+    reliability_comparison,
+    task_window_failure_probability,
+    taskset_failure_probability,
+)
+from repro.errors import ConfigurationError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestClosedForms:
+    def test_fault_probability_formula(self):
+        assert fault_probability(0.001, 1000) == pytest.approx(
+            1 - math.exp(-1)
+        )
+
+    def test_zero_rate(self):
+        assert fault_probability(0.0, 100) == 0.0
+        assert job_failure_probability(0.0, 100) == 0.0
+
+    def test_duplication_squares(self):
+        p = fault_probability(0.01, 10)
+        assert job_failure_probability(0.01, 10, copies=2) == pytest.approx(
+            p**2
+        )
+
+    def test_window_probability_union(self):
+        per_job = job_failure_probability(0.01, 10, copies=2)
+        window = task_window_failure_probability(0.01, 10, 5, copies=2)
+        assert window == pytest.approx(1 - (1 - per_job) ** 5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fault_probability(-1, 1)
+        with pytest.raises(ConfigurationError):
+            fault_probability(1, -1)
+        with pytest.raises(ConfigurationError):
+            job_failure_probability(1, 1, copies=0)
+        with pytest.raises(ConfigurationError):
+            task_window_failure_probability(1, 1, -1)
+
+    def test_more_copies_always_better(self):
+        for copies in range(1, 4):
+            assert job_failure_probability(
+                0.1, 5, copies + 1
+            ) < job_failure_probability(0.1, 5, copies)
+
+
+class TestTasksetLevel:
+    def test_paper_rate_is_tiny(self, fig1):
+        probability = taskset_failure_probability(fig1, 1e-6, 10_000)
+        assert probability < 1e-6
+
+    def test_mandatory_only_counts_fewer_jobs(self, fig1):
+        strict = taskset_failure_probability(
+            fig1, 1e-3, 1000, mandatory_only=False
+        )
+        relaxed = taskset_failure_probability(
+            fig1, 1e-3, 1000, mandatory_only=True
+        )
+        assert relaxed < strict
+
+    def test_comparison_rows_ordered(self, fig1):
+        rows = reliability_comparison(fig1, 1e-3, 1000)
+        by_style = {row["style"]: row["failure_probability"] for row in rows}
+        assert by_style["standby-sparing"] < by_style["unprotected"]
+        assert (
+            by_style["re-execution (2 retries)"]
+            < by_style["re-execution (1 retry)"]
+        )
+
+
+class TestMonteCarloAgreement:
+    def test_simulation_matches_closed_form(self):
+        """The engine's double-fault miss rate converges to p^2."""
+        from repro.faults.transient import PoissonTransientFaults
+        from repro.schedulers import MKSSStatic
+        from repro.sim.engine import StandbySparingEngine
+
+        ts = TaskSet([Task(10, 10, 5, 2, 2)])  # hard task, always duplicated
+        base = ts.timebase()
+        rate = 0.2  # extreme, to get statistics quickly
+        horizon = 10 * 400 * base.ticks_per_unit
+        engine = StandbySparingEngine(
+            ts,
+            MKSSStatic(),
+            horizon,
+            timebase=base,
+            transient_fault_fn=PoissonTransientFaults(rate, base, seed=3),
+        )
+        result = engine.run()
+        outcomes = result.trace.outcomes_for_task(0)
+        observed_miss_rate = outcomes.count(False) / len(outcomes)
+        predicted = job_failure_probability(rate, 5, copies=2)
+        assert observed_miss_rate == pytest.approx(predicted, abs=0.05)

@@ -1,0 +1,67 @@
+"""Unit tests for report formatting and the stats helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.report import format_series_table, format_table
+from repro.harness.stats import confidence_interval95, mean, sample_std
+from repro.harness.sweep import BinResult, SweepResult
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "long"], [["xx", "1"], ["y", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_header_contents(self):
+        table = format_table(["col"], [["v"]])
+        assert table.splitlines()[0].strip() == "col"
+
+
+class TestFormatSeriesTable:
+    def make_sweep(self):
+        sweep = SweepResult(
+            schemes=("MKSS_ST", "MKSS_DP"), reference_scheme="MKSS_ST"
+        )
+        sweep.bins.append(
+            BinResult(
+                bin_range=(0.1, 0.2),
+                taskset_count=20,
+                mean_energy={"MKSS_ST": 10.0, "MKSS_DP": 6.0},
+                normalized_energy={"MKSS_ST": 1.0, "MKSS_DP": 0.6},
+                mk_violation_count={"MKSS_ST": 0, "MKSS_DP": 0},
+            )
+        )
+        return sweep
+
+    def test_rows_and_title(self):
+        text = format_series_table(self.make_sweep(), "panel A")
+        assert "panel A" in text
+        assert "[0.1,0.2)" in text
+        assert "0.600" in text
+
+    def test_max_reduction_footer(self):
+        text = format_series_table(self.make_sweep())
+        assert "max reduction MKSS_DP vs MKSS_ST: 40.0%" in text
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_sample_std(self):
+        assert sample_std([2.0, 4.0]) == pytest.approx(2.0**0.5)
+        assert sample_std([5.0]) == 0.0
+
+    def test_confidence_interval(self):
+        lo, hi = confidence_interval95([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+        assert confidence_interval95([7.0]) == (7.0, 7.0)

@@ -1,0 +1,96 @@
+"""Unit tests for rotated patterns and the rotation optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.rotation import optimize_rotations, schedulability_margin
+from repro.errors import ModelError
+from repro.model.mk import MKConstraint
+from repro.model.patterns import (
+    EPattern,
+    RPattern,
+    RotatedPattern,
+    pattern_satisfies_mk,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestRotatedPattern:
+    def test_rotation_shifts_window(self):
+        base = RPattern(MKConstraint(2, 4))  # 1 1 0 0
+        rotated = RotatedPattern(base, 1)
+        assert rotated.window() == [1, 0, 0, 1]
+
+    def test_rotation_wraps_modulo_k(self):
+        base = RPattern(MKConstraint(1, 3))
+        assert RotatedPattern(base, 3).window() == base.window()
+        assert RotatedPattern(base, 4).window() == RotatedPattern(base, 1).window()
+
+    def test_rotation_preserves_mk(self):
+        for m, k in [(1, 2), (2, 5), (3, 7)]:
+            mk = MKConstraint(m, k)
+            for rotation in range(k):
+                bits = RotatedPattern(RPattern(mk), rotation).bits(6 * k)
+                # Rotation may delay the first mandatory slots, so check
+                # the steady-state portion (skip the first window).
+                assert pattern_satisfies_mk(bits[k:], mk)
+
+    def test_rotation_of_epattern(self):
+        base = EPattern(MKConstraint(2, 4))  # 1 0 1 0
+        assert RotatedPattern(base, 1).window() == [0, 1, 0, 1]
+
+    def test_negative_rotation_rejected(self):
+        with pytest.raises(ModelError):
+            RotatedPattern(RPattern(MKConstraint(1, 2)), -1)
+
+    def test_prefix_counting_consistent(self):
+        pattern = RotatedPattern(RPattern(MKConstraint(3, 7)), 2)
+        bits = pattern.bits(70)
+        for hi in range(71):
+            assert pattern.mandatory_count_in(1, hi) == sum(bits[:hi])
+
+
+class TestSchedulabilityMargin:
+    def test_positive_margin_on_easy_set(self, fig1):
+        patterns = [RPattern(t.mk) for t in fig1]
+        assert schedulability_margin(fig1, patterns) > 0
+
+    def test_negative_margin_on_collision(self):
+        ts = TaskSet([Task(4, 4, 2, 1, 2)] * 3)
+        patterns = [RPattern(t.mk) for t in ts]
+        assert schedulability_margin(ts, patterns) < 0
+
+
+class TestOptimizeRotations:
+    def test_recovers_colliding_set(self):
+        """Three (1,2) tasks of utilization 1/2 each: deeply-red collides,
+        a rotation makes the mandatory workload fit exactly."""
+        ts = TaskSet([Task(4, 4, 2, 1, 2)] * 3)
+        rotations, patterns = optimize_rotations(ts)
+        assert schedulability_margin(ts, patterns) >= 0
+        assert any(r != 0 for r in rotations)
+
+    def test_never_worse_than_deeply_red(self, fig1, fig5):
+        for ts in (fig1, fig5):
+            red = [RPattern(t.mk) for t in ts]
+            before = schedulability_margin(ts, red)
+            _, patterns = optimize_rotations(ts)
+            assert schedulability_margin(ts, patterns) >= before
+
+    def test_zero_rotation_returns_plain_rpattern(self, fig1):
+        rotations, patterns = optimize_rotations(fig1)
+        for rotation, pattern in zip(rotations, patterns):
+            if rotation == 0:
+                assert isinstance(pattern, RPattern)
+
+    def test_patterns_usable_by_static_scheduler(self):
+        from repro.schedulers import MKSSStatic
+        from repro.schedulers.base import run_policy
+
+        ts = TaskSet([Task(4, 4, 2, 1, 2)] * 3)
+        _, patterns = optimize_rotations(ts)
+        base = ts.timebase()
+        result = run_policy(ts, MKSSStatic(patterns), 40, base)
+        assert result.all_mk_satisfied()

@@ -1,0 +1,76 @@
+"""Unit tests for repro.analysis.schedulability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.schedulability import (
+    is_rpattern_schedulable,
+    rta_mandatory_schedulable,
+    simulate_mandatory_fp,
+)
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestRTATest:
+    def test_paper_examples_pass(self, fig1, fig3, fig5):
+        for ts in (fig1, fig3, fig5):
+            assert rta_mandatory_schedulable(ts)
+
+    def test_overloaded_mandatory_fails(self):
+        ts = TaskSet([Task(2, 2, 2, 2, 2), Task(4, 4, 1, 2, 2)])
+        assert not rta_mandatory_schedulable(ts)
+
+    def test_mandatory_only_overload_is_fine(self):
+        """Full utilization 1.5, mandatory utilization 0.75."""
+        ts = TaskSet([Task(2, 2, 1, 1, 2), Task(4, 4, 4, 1, 2)])
+        assert not rta_mandatory_schedulable(ts)  # C2 = D2, interference kills it
+        ts2 = TaskSet([Task(2, 2, 1, 1, 2), Task(4, 4, 2, 1, 2)])
+        assert rta_mandatory_schedulable(ts2)
+
+
+class TestSimulation:
+    def test_simulation_agrees_with_rta_on_examples(self, fig1, fig5):
+        for ts in (fig1, fig5):
+            ok, misses = simulate_mandatory_fp(ts)
+            assert ok and not misses
+
+    def test_reports_missing_jobs(self):
+        ts = TaskSet([Task(2, 2, 2, 2, 2), Task(4, 4, 1, 2, 2)])
+        ok, misses = simulate_mandatory_fp(ts)
+        assert not ok
+        assert all(len(miss) == 3 for miss in misses)
+        assert misses[0][0] == 1  # the low-priority task misses
+
+    def test_release_offsets_shift_schedule(self, fig5):
+        ok, _ = simulate_mandatory_fp(fig5, release_offsets=[0, 0])
+        assert ok
+        ok_late, misses = simulate_mandatory_fp(fig5, release_offsets=[8, 0])
+        assert not ok_late  # tau1 backup released at 8 cannot finish by 10
+
+    def test_bad_offsets_length_rejected(self, fig5):
+        with pytest.raises(AnalysisError):
+            simulate_mandatory_fp(fig5, release_offsets=[1])
+
+    def test_custom_horizon(self, fig1):
+        base = fig1.timebase()
+        ok, _ = simulate_mandatory_fp(
+            fig1, base, horizon_ticks=5 * base.ticks_per_unit
+        )
+        assert ok
+
+
+class TestAdmission:
+    def test_paper_examples_admitted(self, fig1, fig3, fig5):
+        for ts in (fig1, fig3, fig5):
+            assert is_rpattern_schedulable(ts)
+
+    def test_hopeless_set_rejected(self):
+        ts = TaskSet([Task(2, 2, 2, 2, 2), Task(2, 2, 2, 2, 2)])
+        assert not is_rpattern_schedulable(ts)
+
+    def test_inexact_mode_uses_rta_only(self):
+        ts = TaskSet([Task(2, 2, 2, 2, 2), Task(4, 4, 1, 2, 2)])
+        assert not is_rpattern_schedulable(ts, exact=False)

@@ -1,0 +1,111 @@
+"""Unit tests for MKSS_Selective (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scenario import FaultScenario
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSSelective, MKSSStatic
+from repro.sim.engine import PRIMARY, SPARE
+
+
+class TestConfiguration:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MKSSSelective(fd_threshold=0)
+
+    def test_paper_defaults(self):
+        policy = MKSSSelective()
+        assert policy.fd_threshold == 1
+        assert policy.alternate
+        assert policy.use_theta_postponement
+
+
+class TestSelectionRule:
+    def test_only_fd1_selected(self, fig3, active_runner):
+        result, _ = active_runner(fig3, MKSSSelective(), 25)
+        for record in result.trace.records.values():
+            if record.classified_as == "optional":
+                assert record.flexibility_degree == 1
+            elif record.classified_as == "skipped":
+                assert record.flexibility_degree >= 2
+
+    def test_threshold_two_selects_more(self, fig3, active_runner):
+        result1, energy1 = active_runner(fig3, MKSSSelective(), 25)
+        result2, energy2 = active_runner(
+            fig3, MKSSSelective(fd_threshold=2), 25
+        )
+        optionals1 = sum(
+            1
+            for r in result1.trace.records.values()
+            if r.classified_as == "optional"
+        )
+        optionals2 = sum(
+            1
+            for r in result2.trace.records.values()
+            if r.classified_as == "optional"
+        )
+        assert optionals2 > optionals1
+        assert energy2 > energy1
+
+    def test_mandatory_gets_main_and_backup(self, active_runner):
+        """A task that starts at FD=0 (hard) must run on both processors."""
+        ts = TaskSet([Task(10, 10, 3, 2, 2), Task(20, 20, 2, 1, 2)])
+        result, _ = active_runner(ts, MKSSSelective(), 20)
+        roles_tau1 = {
+            s.role for s in result.trace.segments if s.task_index == 0
+        }
+        assert "main" in roles_tau1
+        # The backup may be canceled before running; check classification.
+        assert result.trace.records[(0, 1)].classified_as == "mandatory"
+
+
+class TestAlternation:
+    def test_alternation_uses_both_processors(self, fig3, active_runner):
+        result, _ = active_runner(fig3, MKSSSelective(), 25)
+        optional_processors = {
+            s.processor for s in result.trace.segments if s.role == "optional"
+        }
+        assert optional_processors == {PRIMARY, SPARE}
+
+    def test_no_alternation_stays_primary(self, fig3, active_runner):
+        result, _ = active_runner(
+            fig3, MKSSSelective(alternate=False), 25
+        )
+        optional_processors = {
+            s.processor for s in result.trace.segments if s.role == "optional"
+        }
+        assert optional_processors == {PRIMARY}
+
+
+class TestFaultTolerance:
+    def test_mk_under_permanent_fault_each_processor(self, fig3, active_runner):
+        for processor in (0, 1):
+            scenario = FaultScenario.permanent_only(processor=processor, tick=9)
+            result, _ = active_runner(
+                fig3, MKSSSelective(), 25, scenario=scenario
+            )
+            assert result.all_mk_satisfied(), f"processor {processor}"
+
+    def test_fault_at_time_zero(self, fig1, active_runner):
+        scenario = FaultScenario.permanent_only(processor=SPARE, tick=0)
+        result, _ = active_runner(fig1, MKSSSelective(), 20, scenario=scenario)
+        assert result.all_mk_satisfied()
+        assert result.busy_ticks(SPARE) == 0
+
+    def test_energy_not_above_st_on_examples(self, fig1, fig3, active_runner):
+        for ts, horizon in ((fig1, 20), (fig3, 25)):
+            _, st = active_runner(ts, MKSSStatic(), horizon)
+            _, sel = active_runner(ts, MKSSSelective(), horizon)
+            assert sel < st
+
+
+class TestThetaToggle:
+    def test_promotion_fallback_still_correct(self, fig5, active_runner):
+        result, _ = active_runner(
+            fig5, MKSSSelective(use_theta_postponement=False), 30
+        )
+        assert result.all_mk_satisfied()

@@ -1,0 +1,72 @@
+"""Unit tests for MKSS_ST (the static reference scheme)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.patterns import EPattern, RPattern
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSStatic
+from repro.schedulers.base import run_policy
+from repro.faults.scenario import FaultScenario
+
+
+class TestStaticScheme:
+    def test_energy_is_twice_mandatory_work(self, fig1, active_runner):
+        _, energy = active_runner(fig1, MKSSStatic(), 20)
+        mandatory_work = 3 + 3 + 3  # J11, J12, J21
+        assert energy == 2 * mandatory_work
+
+    def test_optional_jobs_never_run(self, fig1, active_runner):
+        result, _ = active_runner(fig1, MKSSStatic(), 20)
+        for record in result.trace.records.values():
+            if record.classified_as == "skipped":
+                key = (record.task_index, record.job_index)
+                assert all(
+                    s.task_index != key[0] or s.job_index != key[1]
+                    for s in result.trace.segments
+                )
+
+    def test_rpattern_classification(self, fig1, active_runner):
+        result, _ = active_runner(fig1, MKSSStatic(), 20)
+        classes = {
+            (r.task_index, r.job_index): r.classified_as
+            for r in result.trace.records.values()
+        }
+        # tau1 (2,4): jobs 1,2 mandatory; 3,4 skipped.
+        assert classes[(0, 1)] == "mandatory"
+        assert classes[(0, 2)] == "mandatory"
+        assert classes[(0, 3)] == "skipped"
+        assert classes[(0, 4)] == "skipped"
+
+    def test_custom_pattern(self, fig1, active_runner):
+        patterns = [EPattern(t.mk) for t in fig1]
+        result, _ = active_runner(fig1, MKSSStatic(patterns), 20)
+        classes = {
+            (r.task_index, r.job_index): r.classified_as
+            for r in result.trace.records.values()
+        }
+        # E-pattern for (2,4): jobs 1 and 3 mandatory.
+        assert classes[(0, 1)] == "mandatory"
+        assert classes[(0, 2)] == "skipped"
+        assert classes[(0, 3)] == "mandatory"
+
+    def test_pattern_count_mismatch_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            run_policy(
+                fig1,
+                MKSSStatic([RPattern(fig1[0].mk)]),
+                20 * fig1.timebase().ticks_per_unit,
+            )
+
+    def test_survives_permanent_fault(self, fig1, active_runner):
+        scenario = FaultScenario.permanent_only(processor=0, tick=4)
+        result, energy = active_runner(fig1, MKSSStatic(), 20, scenario=scenario)
+        assert result.all_mk_satisfied()
+        # After the fault only the spare consumes energy.
+        assert energy < 18
+
+    def test_mk_guaranteed_on_schedulable_set(self, fig5, active_runner):
+        result, _ = active_runner(fig5, MKSSStatic(), 30)
+        assert result.all_mk_satisfied()

@@ -1,0 +1,75 @@
+"""Unit tests for the sensitivity analysis."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.schedulability import is_rpattern_schedulable
+from repro.analysis.sensitivity import (
+    critical_scaling_factor,
+    per_task_slack,
+    scale_wcets,
+)
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestScaleWcets:
+    def test_scales_every_task(self, fig1):
+        scaled = scale_wcets(fig1, Fraction(1, 2))
+        assert [t.wcet for t in scaled] == [Fraction(3, 2), Fraction(3, 2)]
+        assert [t.period for t in scaled] == [t.period for t in fig1]
+
+    def test_rejects_scaling_past_deadline(self, fig1):
+        with pytest.raises(AnalysisError):
+            scale_wcets(fig1, 2)  # tau1: 3*2 > D=4
+
+    def test_rejects_nonpositive_factor(self, fig1):
+        with pytest.raises(AnalysisError):
+            scale_wcets(fig1, 0)
+
+
+class TestCriticalScalingFactor:
+    def test_factor_is_schedulable_and_tight(self, fig1):
+        factor = critical_scaling_factor(fig1, precision=Fraction(1, 64))
+        assert factor >= 1  # the paper's example is schedulable as given
+        scaled = scale_wcets(fig1, factor)
+        assert is_rpattern_schedulable(scaled)
+
+    def test_structural_cap_respected(self):
+        """A task set with huge slack is capped at min(D/C)."""
+        ts = TaskSet([Task(100, 100, 1, 1, 2)])
+        factor = critical_scaling_factor(ts)
+        assert factor == 100  # single task: schedulable up to C = D
+
+    def test_unschedulable_set_below_one(self):
+        ts = TaskSet(
+            [Task(2, 2, 2, 2, 2), Task(4, 4, 2, 2, 2), Task(8, 8, 2, 2, 2)]
+        )
+        factor = critical_scaling_factor(ts, precision=Fraction(1, 32))
+        assert factor < 1
+
+    def test_bad_precision_rejected(self, fig1):
+        with pytest.raises(AnalysisError):
+            critical_scaling_factor(fig1, precision=Fraction(0))
+
+    def test_monotone_in_workload(self, fig5):
+        light = critical_scaling_factor(fig5, precision=Fraction(1, 32))
+        heavier = scale_wcets(fig5, Fraction(5, 4))
+        heavy_factor = critical_scaling_factor(
+            heavier, precision=Fraction(1, 32)
+        )
+        # Scaling the base set up shrinks the remaining headroom by the
+        # same ratio (within search precision).
+        assert heavy_factor <= light
+
+
+class TestPerTaskSlack:
+    def test_fig1_slacks_are_promotion_times(self, fig1):
+        assert per_task_slack(fig1) == [1, 1]
+
+    def test_fig5_slacks(self, fig5):
+        assert per_task_slack(fig5) == [7, 1]

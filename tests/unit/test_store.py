@@ -1,0 +1,78 @@
+"""Unit tests for the sweep results store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.store import (
+    compare_sweeps,
+    load_sweep,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.harness.sweep import BinResult, SweepResult
+
+
+def make_sweep(dp=0.6):
+    sweep = SweepResult(
+        schemes=("MKSS_ST", "MKSS_DP"), reference_scheme="MKSS_ST"
+    )
+    sweep.bins.append(
+        BinResult(
+            bin_range=(0.1, 0.2),
+            taskset_count=20,
+            mean_energy={"MKSS_ST": 10.0, "MKSS_DP": dp * 10},
+            normalized_energy={"MKSS_ST": 1.0, "MKSS_DP": dp},
+            mk_violation_count={"MKSS_ST": 0, "MKSS_DP": 0},
+            energy_ci95={"MKSS_ST": (9.0, 11.0), "MKSS_DP": (5.0, 7.0)},
+        )
+    )
+    return sweep
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        sweep = make_sweep()
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert restored.schemes == sweep.schemes
+        assert restored.bins[0].normalized_energy == (
+            sweep.bins[0].normalized_energy
+        )
+        assert restored.bins[0].energy_ci95["MKSS_DP"] == (5.0, 7.0)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(make_sweep(), str(path))
+        restored = load_sweep(str(path))
+        assert restored.max_reduction("MKSS_DP", "MKSS_ST") == pytest.approx(
+            0.4
+        )
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_from_dict({"schemes": ["A"]})
+
+
+class TestCompare:
+    def test_delta_computed_per_bin(self):
+        before = make_sweep(dp=0.6)
+        after = make_sweep(dp=0.5)
+        rows = compare_sweeps(before, after, "MKSS_DP")
+        assert len(rows) == 1
+        label, ref, cand, delta = rows[0]
+        assert ref == 0.6 and cand == 0.5
+        assert delta == pytest.approx(-0.1)
+
+    def test_missing_bins_skipped(self):
+        before = make_sweep()
+        after = make_sweep()
+        after.bins[0] = BinResult(
+            bin_range=(0.3, 0.4),
+            taskset_count=20,
+            mean_energy={"MKSS_ST": 1.0, "MKSS_DP": 0.5},
+            normalized_energy={"MKSS_ST": 1.0, "MKSS_DP": 0.5},
+            mk_violation_count={},
+        )
+        assert compare_sweeps(before, after, "MKSS_DP") == []

@@ -1,0 +1,90 @@
+"""Unit tests for the utilization sweep machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scenario import FaultScenario
+from repro.harness.sweep import utilization_sweep
+from repro.workload.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return utilization_sweep(
+        bins=[(0.3, 0.4), (0.6, 0.7)],
+        sets_per_bin=3,
+        seed=77,
+        horizon_cap_units=500,
+    )
+
+
+class TestUtilizationSweep:
+    def test_reference_normalizes_to_one(self, small_sweep):
+        for bucket in small_sweep.bins:
+            assert bucket.normalized_energy["MKSS_ST"] == pytest.approx(1.0)
+
+    def test_all_bins_populated(self, small_sweep):
+        assert len(small_sweep.bins) == 2
+        assert all(b.taskset_count == 3 for b in small_sweep.bins)
+
+    def test_no_mk_violations_anywhere(self, small_sweep):
+        for bucket in small_sweep.bins:
+            assert all(v == 0 for v in bucket.mk_violation_count.values())
+
+    def test_dp_and_selective_below_reference(self, small_sweep):
+        for bucket in small_sweep.bins:
+            assert bucket.normalized_energy["MKSS_DP"] < 1.0
+            assert bucket.normalized_energy["MKSS_Selective"] < 1.0
+
+    def test_series_extraction(self, small_sweep):
+        series = small_sweep.series("MKSS_DP")
+        assert len(series) == 2
+        assert all(isinstance(label, str) for label, _ in series)
+
+    def test_max_reduction_nonnegative(self, small_sweep):
+        assert small_sweep.max_reduction("MKSS_Selective", "MKSS_ST") > 0
+
+    def test_reference_must_be_included(self):
+        with pytest.raises(ConfigurationError):
+            utilization_sweep(
+                bins=[(0.3, 0.4)],
+                schemes=("MKSS_DP", "MKSS_Selective"),
+                reference_scheme="MKSS_ST",
+            )
+
+    def test_parallel_matches_sequential(self):
+        from repro.workload.generator import generate_binned_tasksets
+
+        bins = [(0.3, 0.4)]
+        pool = generate_binned_tasksets(bins, sets_per_bin=2, seed=13)
+        sequential = utilization_sweep(
+            bins, tasksets_by_bin=pool, horizon_cap_units=300
+        )
+        parallel = utilization_sweep(
+            bins, tasksets_by_bin=pool, horizon_cap_units=300, workers=2
+        )
+        assert [b.mean_energy for b in sequential.bins] == [
+            b.mean_energy for b in parallel.bins
+        ]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization_sweep([(0.3, 0.4)], workers=0, tasksets_by_bin={})
+
+    def test_scenario_factory_invoked_per_set(self):
+        calls = []
+
+        def factory(index):
+            calls.append(index)
+            return FaultScenario.none()
+
+        utilization_sweep(
+            bins=[(0.3, 0.4)],
+            sets_per_bin=2,
+            seed=77,
+            horizon_cap_units=300,
+            scenario_factory=factory,
+        )
+        assert calls == [0, 1]

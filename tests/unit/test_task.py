@@ -1,0 +1,84 @@
+"""Unit tests for repro.model.task."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.mk import MKConstraint
+from repro.model.task import Task
+
+
+class TestConstruction:
+    def test_paper_tuple_form(self):
+        task = Task(5, 4, 3, 2, 4)
+        assert task.period == 5
+        assert task.deadline == 4
+        assert task.wcet == 3
+        assert task.m == 2 and task.k == 4
+
+    def test_constraint_object_form(self):
+        task = Task(5, 4, 3, MKConstraint(2, 4))
+        assert task.mk == MKConstraint(2, 4)
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(ModelError):
+            Task(5, 4, 3, MKConstraint(2, 4), 4)
+
+    def test_missing_k_rejected(self):
+        with pytest.raises(ModelError):
+            Task(5, 4, 3, 2)
+
+    def test_fractional_deadline(self):
+        task = Task(5, "5/2", 2, 2, 4)
+        assert task.deadline == Fraction(5, 2)
+
+    def test_float_wcet_snaps(self):
+        assert Task(5, 5, 2.5, 1, 2).wcet == Fraction(5, 2)
+
+    def test_wcet_above_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            Task(5, 4, 4.5, 1, 2)
+
+    def test_deadline_above_period_rejected(self):
+        with pytest.raises(ModelError):
+            Task(5, 6, 1, 1, 2)
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ModelError):
+            Task(5, 5, 0, 1, 2)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ModelError):
+            Task(-5, 4, 1, 1, 2)
+
+
+class TestDerivedQuantities:
+    def test_utilization(self):
+        assert Task(10, 10, 3, 1, 2).utilization == Fraction(3, 10)
+
+    def test_mk_utilization(self):
+        # m*C/(k*P) = 1*3/(2*10)
+        assert Task(10, 10, 3, 1, 2).mk_utilization == Fraction(3, 20)
+
+    def test_release_times_are_one_based(self):
+        task = Task(5, 4, 3, 2, 4)
+        assert task.release_time(1) == 0
+        assert task.release_time(3) == 10
+        with pytest.raises(ModelError):
+            task.release_time(0)
+
+    def test_absolute_deadline(self):
+        task = Task(5, 4, 3, 2, 4)
+        assert task.absolute_deadline(2) == 9
+
+    def test_paper_tuple_roundtrip(self):
+        task = Task(5, 4, 3, 2, 4)
+        assert task.paper_tuple() == (5, 4, 3, 2, 4)
+
+    def test_str_contains_parameters(self):
+        text = str(Task(5, 4, 3, 2, 4, name="t"))
+        for token in ("P=5", "D=4", "C=3", "m=2", "k=4"):
+            assert token in text

@@ -1,0 +1,77 @@
+"""Unit tests for repro.model.taskset."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def two_tasks():
+    return TaskSet([Task(5, 4, 3, 2, 4), Task(10, 10, 3, 1, 2)])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            TaskSet([])
+
+    def test_non_task_rejected(self):
+        with pytest.raises(ModelError):
+            TaskSet([Task(5, 4, 3, 2, 4), "bogus"])  # type: ignore[list-item]
+
+    def test_auto_names(self, two_tasks):
+        assert [t.name for t in two_tasks] == ["tau1", "tau2"]
+
+    def test_explicit_names_kept(self):
+        ts = TaskSet([Task(5, 4, 3, 2, 4, name="video")])
+        assert ts[0].name == "video"
+
+    def test_len_and_iteration(self, two_tasks):
+        assert len(two_tasks) == 2
+        assert [t.period for t in two_tasks] == [5, 10]
+
+
+class TestPriorities:
+    def test_index_is_priority(self, two_tasks):
+        assert two_tasks.priority_of(two_tasks[0]) == 0
+        assert two_tasks.priority_of(two_tasks[1]) == 1
+
+    def test_foreign_task_rejected(self, two_tasks):
+        with pytest.raises(ModelError):
+            two_tasks.priority_of(Task(5, 4, 3, 2, 4))
+
+    def test_higher_priority_slice(self, two_tasks):
+        assert list(two_tasks.higher_priority(0)) == []
+        assert list(two_tasks.higher_priority(1)) == [two_tasks[0]]
+
+
+class TestAggregates:
+    def test_utilization(self, two_tasks):
+        assert two_tasks.utilization == Fraction(3, 5) + Fraction(3, 10)
+
+    def test_mk_utilization(self, two_tasks):
+        expected = Fraction(2 * 3, 4 * 5) + Fraction(1 * 3, 2 * 10)
+        assert two_tasks.mk_utilization == expected
+
+    def test_hyperperiod(self, two_tasks):
+        assert two_tasks.hyperperiod() == 10
+
+    def test_mk_hyperperiod(self, two_tasks):
+        # lcm(4*5, 2*10) = 20
+        assert two_tasks.mk_hyperperiod() == 20
+
+    def test_mk_hyperperiod_prefix(self, two_tasks):
+        assert two_tasks.mk_hyperperiod(upto_priority=0) == 20
+
+    def test_timebase_handles_fractions(self):
+        ts = TaskSet([Task(5, "5/2", 2, 2, 4)])
+        assert ts.timebase().ticks_per_unit == 2
+
+    def test_repr(self, two_tasks):
+        assert "tau1" in repr(two_tasks)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.timebase."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TimeBaseError
+from repro.timebase import TimeBase, as_fraction
+
+
+class TestAsFraction:
+    def test_int_passthrough(self):
+        assert as_fraction(5) == Fraction(5)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(5, 2)
+        assert as_fraction(f) is f
+
+    def test_float_snaps_to_decimal(self):
+        assert as_fraction(2.5) == Fraction(5, 2)
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_string_parses(self):
+        assert as_fraction("5/2") == Fraction(5, 2)
+        assert as_fraction("3") == Fraction(3)
+
+    def test_bad_string_raises(self):
+        with pytest.raises(TimeBaseError):
+            as_fraction("abc")
+
+    def test_nan_rejected(self):
+        with pytest.raises(TimeBaseError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(TimeBaseError):
+            as_fraction(float("inf"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(TimeBaseError):
+            as_fraction(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TimeBaseError):
+            as_fraction([1])  # type: ignore[arg-type]
+
+
+class TestTimeBase:
+    def test_default_unit_resolution(self):
+        base = TimeBase()
+        assert base.to_ticks(7) == 7
+        assert base.from_ticks(7) == Fraction(7)
+
+    def test_for_values_uses_lcm_of_denominators(self):
+        base = TimeBase.for_values([Fraction(1, 2), Fraction(1, 3), 5])
+        assert base.ticks_per_unit == 6
+        assert base.to_ticks(Fraction(1, 2)) == 3
+        assert base.to_ticks(Fraction(1, 3)) == 2
+
+    def test_for_values_with_floats(self):
+        base = TimeBase.for_values([2.5, 4])
+        assert base.ticks_per_unit == 2
+        assert base.to_ticks(2.5) == 5
+
+    def test_unrepresentable_time_raises(self):
+        base = TimeBase(2)
+        with pytest.raises(TimeBaseError):
+            base.to_ticks(Fraction(1, 3))
+
+    def test_roundtrip(self):
+        base = TimeBase(100)
+        for value in (0, 1, Fraction(7, 4), Fraction(33, 100)):
+            assert base.from_ticks(base.to_ticks(value)) == value
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(TimeBaseError):
+            TimeBase(0)
+        with pytest.raises(TimeBaseError):
+            TimeBase(-1)
+
+    def test_equality_and_hash(self):
+        assert TimeBase(3) == TimeBase(3)
+        assert TimeBase(3) != TimeBase(4)
+        assert hash(TimeBase(3)) == hash(TimeBase(3))
+
+    def test_empty_for_values_gives_unit(self):
+        assert TimeBase.for_values([]).ticks_per_unit == 1
+
+    def test_repr_mentions_resolution(self):
+        assert "7" in repr(TimeBase(7))

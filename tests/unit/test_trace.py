@@ -1,0 +1,91 @@
+"""Unit tests for repro.sim.trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.job import Job, JobOutcome, JobRole
+from repro.sim.trace import ExecutionTrace, LogicalJobRecord, Segment
+
+
+def make_job(task=0, index=1, role=JobRole.MAIN, processor=0):
+    return Job(task, index, role, 0, 100, 5, processor=processor)
+
+
+class TestSegment:
+    def test_length_and_overlap(self):
+        seg = Segment(0, 2, 8, 0, 1, "main")
+        assert seg.length == 6
+        assert seg.overlap_with(0, 5) == 3
+        assert seg.overlap_with(8, 10) == 0
+        assert seg.overlap_with(2, 8) == 6
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SimulationError):
+            Segment(0, 5, 5, 0, 1, "main")
+
+
+class TestExecutionTrace:
+    def test_add_segment_ignores_empty(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 3, 3, make_job())
+        assert not trace.segments
+
+    def test_busy_ticks_windowed(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 4, make_job())
+        trace.add_segment(1, 2, 6, make_job(processor=1))
+        assert trace.busy_ticks() == 8
+        assert trace.busy_ticks(0) == 4
+        assert trace.busy_ticks(None, window=(0, 3)) == 4  # 3 + 1
+
+    def test_idle_gaps(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 2, 4, make_job())
+        trace.add_segment(0, 6, 8, make_job(index=2))
+        assert trace.idle_gaps(0, (0, 10)) == [(0, 2), (4, 6), (8, 10)]
+
+    def test_idle_gaps_fully_busy(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 10, make_job())
+        assert trace.idle_gaps(0, (0, 10)) == []
+
+    def test_idle_gaps_empty_processor(self):
+        trace = ExecutionTrace()
+        assert trace.idle_gaps(1, (0, 5)) == [(0, 5)]
+
+    def test_validate_detects_overlap(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 5, make_job())
+        trace.add_segment(0, 3, 6, make_job(index=2))
+        with pytest.raises(SimulationError):
+            trace.validate()
+
+    def test_validate_accepts_adjacent(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 5, make_job())
+        trace.add_segment(0, 5, 6, make_job(index=2))
+        trace.validate()
+
+    def test_outcomes_for_task_in_job_order(self):
+        trace = ExecutionTrace()
+        trace.records[(0, 2)] = LogicalJobRecord(0, 2, 5, 10, JobOutcome.MISSED)
+        trace.records[(0, 1)] = LogicalJobRecord(0, 1, 0, 5, JobOutcome.EFFECTIVE)
+        trace.records[(1, 1)] = LogicalJobRecord(1, 1, 0, 9, JobOutcome.EFFECTIVE)
+        assert trace.outcomes_for_task(0) == [True, False]
+        assert trace.outcomes_for_task(1) == [True]
+
+    def test_record_for_missing_raises(self):
+        trace = ExecutionTrace()
+        with pytest.raises(SimulationError):
+            trace.record_for((9, 9))
+
+    def test_log_appends_events(self):
+        trace = ExecutionTrace()
+        trace.log(3, "cancel", "J1,1")
+        assert trace.events[0].kind == "cancel"
+
+    def test_bad_processor_count(self):
+        with pytest.raises(SimulationError):
+            ExecutionTrace(processor_count=0)

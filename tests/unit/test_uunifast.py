@@ -1,0 +1,46 @@
+"""Unit tests for the UUniFast utilization generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.uunifast import uunifast
+
+
+class TestUUniFast:
+    def test_sum_matches_target(self):
+        rng = random.Random(0)
+        for n in (1, 2, 5, 10):
+            values = uunifast(n, 0.7, rng)
+            assert len(values) == n
+            assert sum(values) == pytest.approx(0.7)
+
+    def test_all_positive(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert all(v > 0 for v in uunifast(8, 0.9, rng))
+
+    def test_single_task_gets_everything(self):
+        assert uunifast(1, 0.4, random.Random(2)) == [0.4]
+
+    def test_reproducible_with_seeded_rng(self):
+        assert uunifast(5, 0.5, random.Random(7)) == uunifast(
+            5, 0.5, random.Random(7)
+        )
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(WorkloadError):
+            uunifast(0, 0.5)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(WorkloadError):
+            uunifast(3, 0.0)
+
+    def test_distribution_is_roughly_uniform(self):
+        """First-component mean over the simplex is total/n."""
+        rng = random.Random(3)
+        samples = [uunifast(4, 1.0, rng)[0] for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.25, abs=0.02)

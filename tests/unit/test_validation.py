@@ -1,0 +1,92 @@
+"""Unit tests for the independent result validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.job import Job, JobOutcome, JobRole
+from repro.schedulers import MKSSDualPriority, MKSSSelective
+from repro.sim.engine import StandbySparingEngine
+from repro.sim.trace import LogicalJobRecord
+from repro.sim.validation import assert_valid, validate_result
+
+
+@pytest.fixture
+def clean_result(fig1):
+    return StandbySparingEngine(fig1, MKSSDualPriority(), 20).run()
+
+
+class TestCleanRuns:
+    def test_paper_examples_validate(self, fig1, fig3, clean_result):
+        assert validate_result(clean_result) == []
+        result3 = StandbySparingEngine(fig3, MKSSSelective(), 50).run()
+        assert validate_result(result3) == []
+
+    def test_assert_valid_passes(self, clean_result):
+        assert_valid(clean_result)
+
+
+class TestDetection:
+    def _job(self, fig1, task=0, index=1):
+        return Job(task, index, JobRole.MAIN, 0, 100, 3, processor=0)
+
+    def test_detects_overlap(self, fig1, clean_result):
+        job = self._job(fig1)
+        clean_result.trace.add_segment(0, 0, 2, job)  # overlaps J11's [0,3)
+        issues = validate_result(clean_result)
+        assert any(i.kind == "overlap" for i in issues)
+
+    def test_detects_early_start(self, fig1, clean_result):
+        ghost = Job(0, 4, JobRole.MAIN, 15, 19, 3, processor=1)
+        clean_result.trace.add_segment(1, 10, 11, ghost)  # release is 15
+        issues = validate_result(clean_result)
+        assert any(i.kind == "early-start" for i in issues)
+
+    def test_detects_late_execution(self, fig1, clean_result):
+        ghost = Job(0, 1, JobRole.MAIN, 0, 4, 3, processor=1)
+        clean_result.trace.add_segment(1, 18, 19, ghost)  # deadline is 4
+        issues = validate_result(clean_result)
+        assert any(i.kind == "late-execution" for i in issues)
+
+    def test_detects_over_execution(self, fig1, clean_result):
+        job = self._job(fig1)
+        clean_result.trace.add_segment(1, 0, 4, job)
+        clean_result.trace.add_segment(1, 10, 13, job)
+        # J11 now has 3 (real) + 7 (fake) ticks > 2 x 3.
+        issues = validate_result(clean_result)
+        assert any(i.kind == "over-execution" for i in issues)
+
+    def test_detects_phantom_success(self, fig1, clean_result):
+        record = clean_result.trace.records[(0, 3)]
+        record.outcome = JobOutcome.EFFECTIVE  # skipped job "succeeds"
+        issues = validate_result(clean_result)
+        assert any(i.kind == "phantom-success" for i in issues)
+
+    def test_detects_undecided(self, fig1, clean_result):
+        clean_result.trace.records[(0, 1)].outcome = None
+        issues = validate_result(clean_result)
+        assert any(i.kind == "undecided" for i in issues)
+
+    def test_detects_record_gap(self, fig1, clean_result):
+        del clean_result.trace.records[(0, 2)]
+        issues = validate_result(clean_result)
+        assert any(i.kind == "gap" for i in issues)
+
+    def test_max_copies_raises_cap(self, fig1):
+        """Recovery-enabled runs exceed two WCETs legitimately."""
+        from repro.model.task import Task
+        from repro.model.taskset import TaskSet
+        from repro.schedulers import ReExecutionFP
+
+        ts = TaskSet([Task(10, 10, 3, 1, 2)])
+        engine = StandbySparingEngine(
+            ts,
+            ReExecutionFP(max_recoveries=2),
+            10,
+            transient_fault_fn=lambda job, now: True,
+        )
+        result = engine.run()
+        assert any(
+            i.kind == "over-execution" for i in validate_result(result)
+        )
+        assert validate_result(result, max_copies=3) == []

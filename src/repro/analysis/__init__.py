@@ -5,6 +5,7 @@ Everything in this package operates on the integer tick grid produced by
 ceiling divisions are exact.
 """
 
+from .cache import AnalysisCache, analysis_cache
 from .hyperperiod import analysis_horizon, lcm_ticks
 from .rta import response_time, response_times, response_time_mandatory
 from .promotion import promotion_time, promotion_times
@@ -40,6 +41,8 @@ from .energy_bounds import (
 )
 
 __all__ = [
+    "AnalysisCache",
+    "analysis_cache",
     "analysis_horizon",
     "lcm_ticks",
     "response_time",

@@ -1,0 +1,97 @@
+"""Shared memoization for offline analyses.
+
+Every offline analysis in this package (response times, promotion times,
+postponement intervals, analysis horizons) is a pure function of the task
+parameters and the tick grid.  Sweeps run the same task set through several
+schemes back to back, and the selective/hybrid/dual-priority policies each
+re-derive the same quantities in :meth:`prepare`; without memoization the
+offline analysis dominates the simulation itself (it was ~60% of
+``run_policy`` wall time on the microbenchmark workload).
+
+The cache key is ``(analysis kind, TaskSet.fingerprint(), ticks_per_unit,
+*parameters)``.  The fingerprint is the tuple of analysis-relevant task
+parameters -- exact :class:`~fractions.Fraction` values, not floats -- so
+two structurally identical task sets share entries even across separate
+:class:`~repro.model.taskset.TaskSet` objects (e.g. regenerated from the
+same seed in a worker process).
+
+Only calls that are fully described by the key are memoized: analyses
+taking an explicit ``patterns`` argument bypass the cache, because pattern
+objects carry behaviour, not just data.  Cached results are cloned on the
+way out so callers can mutate their copy freely.
+
+The cache is per process.  Sweep workers each hold their own instance,
+which is exactly the sharing the worker protocol needs: one worker runs
+every scheme for a (bin, set) descriptor, so the second and third scheme
+hit the entries the first one filled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Tuple
+
+#: Hashable cache key: (kind, fingerprint, ticks_per_unit, *parameters).
+CacheKey = Tuple[Any, ...]
+
+
+class AnalysisCache:
+    """A small thread-safe LRU cache with hit/miss accounting.
+
+    The lock is *not* held while a miss computes, so cached analyses may
+    nest (postponement intervals call promotion times, both memoized).
+    Two threads racing on the same missing key may both compute it; the
+    results are identical (the analyses are pure), so the race is benign.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries", "_lock")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: CacheKey, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_CACHE = AnalysisCache()
+
+
+def analysis_cache() -> AnalysisCache:
+    """The process-wide cache shared by all memoized analyses."""
+    return _CACHE

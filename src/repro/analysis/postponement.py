@@ -38,6 +38,7 @@ from ..errors import AnalysisError
 from ..model.patterns import Pattern, RPattern
 from ..model.taskset import TaskSet
 from ..timebase import TimeBase
+from .cache import analysis_cache
 from .hyperperiod import mk_hyperperiod_ticks
 from .promotion import promotion_times
 
@@ -154,6 +155,46 @@ def task_postponement_intervals(
         A :class:`PostponementResult` with per-task θ_i and diagnostics.
     """
     base = timebase or taskset.timebase()
+    if patterns is None:
+        # Fully determined by the key -> memoized.  Explicit patterns
+        # carry behaviour and bypass the cache.
+        key = (
+            "postponement",
+            taskset.fingerprint(),
+            base.ticks_per_unit,
+            horizon_ticks,
+            floor_at_promotion,
+        )
+        cached = analysis_cache().get(
+            key,
+            lambda: _task_postponement_intervals(
+                taskset, base, None, horizon_ticks, floor_at_promotion
+            ),
+        )
+        return _clone_result(cached)
+    return _task_postponement_intervals(
+        taskset, base, patterns, horizon_ticks, floor_at_promotion
+    )
+
+
+def _clone_result(result: PostponementResult) -> PostponementResult:
+    """A mutation-safe copy of a cached result."""
+    return PostponementResult(
+        thetas=list(result.thetas),
+        promotions=list(result.promotions),
+        raw_thetas=list(result.raw_thetas),
+        job_thetas={k: list(v) for k, v in result.job_thetas.items()},
+        horizon=result.horizon,
+    )
+
+
+def _task_postponement_intervals(
+    taskset: TaskSet,
+    base: TimeBase,
+    patterns: Optional[Sequence[Pattern]],
+    horizon_ticks: Optional[int],
+    floor_at_promotion: bool,
+) -> PostponementResult:
     if patterns is None:
         patterns = [RPattern(t.mk) for t in taskset]
     promotions = promotion_times(taskset, base)

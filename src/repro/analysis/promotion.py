@@ -28,6 +28,7 @@ from ..errors import AnalysisError
 from ..model.patterns import Pattern
 from ..model.taskset import TaskSet
 from ..timebase import TimeBase
+from .cache import analysis_cache
 from .rta import response_time_mandatory
 
 
@@ -54,6 +55,15 @@ def promotion_times(
 ) -> List[int]:
     """Promotion times for every task, highest priority first."""
     base = timebase or taskset.timebase()
+    if patterns is None:
+        key = ("promotion", taskset.fingerprint(), base.ticks_per_unit)
+        cached = analysis_cache().get(
+            key,
+            lambda: [
+                promotion_time(taskset, i, base) for i in range(len(taskset))
+            ],
+        )
+        return list(cached)
     return [
         promotion_time(taskset, i, base, patterns) for i in range(len(taskset))
     ]

@@ -27,6 +27,7 @@ from ..errors import AnalysisError
 from ..model.patterns import Pattern, RPattern
 from ..model.taskset import TaskSet
 from ..timebase import TimeBase
+from .cache import analysis_cache
 from .demand import mandatory_job_count
 
 
@@ -69,9 +70,18 @@ def response_time(
 def response_times(
     taskset: TaskSet, timebase: Optional[TimeBase] = None
 ) -> List[int]:
-    """Response times (ticks) for every task, highest priority first."""
+    """Response times (ticks) for every task, highest priority first.
+
+    Memoized in the shared :mod:`repro.analysis.cache` (a failing RTA
+    raises before anything is stored, so errors are never cached).
+    """
     base = timebase or taskset.timebase()
-    return [response_time(taskset, i, base) for i in range(len(taskset))]
+    key = ("rta", taskset.fingerprint(), base.ticks_per_unit)
+    cached = analysis_cache().get(
+        key,
+        lambda: [response_time(taskset, i, base) for i in range(len(taskset))],
+    )
+    return list(cached)
 
 
 def response_time_mandatory(
@@ -126,8 +136,22 @@ def response_times_mandatory(
     timebase: Optional[TimeBase] = None,
     patterns: Optional[Sequence[Pattern]] = None,
 ) -> List[int]:
-    """Mandatory-only response times for every task."""
+    """Mandatory-only response times for every task.
+
+    Memoized when ``patterns`` is None (default R-patterns); explicit
+    pattern objects bypass the cache.
+    """
     base = timebase or taskset.timebase()
+    if patterns is None:
+        key = ("rta-mandatory", taskset.fingerprint(), base.ticks_per_unit)
+        cached = analysis_cache().get(
+            key,
+            lambda: [
+                response_time_mandatory(taskset, i, base)
+                for i in range(len(taskset))
+            ],
+        )
+        return list(cached)
     return [
         response_time_mandatory(taskset, i, base, patterns)
         for i in range(len(taskset))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..analysis.cache import analysis_cache
 from ..analysis.hyperperiod import analysis_horizon
 from ..energy.accounting import EnergyReport, energy_of
 from ..energy.power import PowerModel
@@ -88,7 +89,10 @@ def run_scheme(
             f"unknown scheme {scheme!r}; known: {sorted(SCHEME_FACTORIES)}"
         ) from exc
     base = taskset.timebase()
-    horizon = analysis_horizon(taskset, base, horizon_cap_units)
+    horizon = analysis_cache().get(
+        ("horizon", taskset.fingerprint(), base.ticks_per_unit, horizon_cap_units),
+        lambda: analysis_horizon(taskset, base, horizon_cap_units),
+    )
     result = run_policy(
         taskset, factory(), horizon, base, scenario, execution_time_fn
     )

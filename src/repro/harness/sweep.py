@@ -6,10 +6,21 @@ each, and plots energy normalized to MKSS_ST.  :func:`utilization_sweep`
 does exactly that for an arbitrary scheme list and fault scenario; the
 same task sets and the same per-set fault draws are reused across schemes
 so comparisons are paired.
+
+Parallel execution (``workers > 1``) uses one persistent process pool for
+the whole sweep -- not one pool per bin -- with chunked submission, so
+worker startup is paid once and every worker's analysis cache stays warm
+across the bins.  When the sweep generated its own workload, workers
+receive compact ``(generation spec, bin, index, scheme)`` descriptors and
+regenerate the task sets locally (the generator is deterministic in its
+seed) instead of unpickling every TaskSet; explicitly supplied task sets
+are shipped pickled.  The ``workers=1`` path runs the same jobs inline and
+is exactly the sequential protocol.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -25,9 +36,80 @@ ScenarioFactory = Callable[[int], FaultScenario]
 (so every scheme sees the identical fault draw on the same set)."""
 
 
-def _run_one(job):
-    """Module-level worker so ProcessPoolExecutor can pickle it."""
-    taskset, scheme, scenario, horizon_cap_units = job
+def _freeze(value):
+    """Recursively convert sequences to tuples for use in hash keys."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _config_key(config: Optional[GeneratorConfig]) -> Optional[tuple]:
+    """Hashable identity of a generator config (None = defaults)."""
+    if config is None:
+        return None
+    return tuple(
+        (f.name, _freeze(getattr(config, f.name)))
+        for f in dataclasses.fields(config)
+    )
+
+
+#: Per-worker-process workload memo, keyed by the generation spec.  A
+#: sweep's descriptors all share one spec, so each worker regenerates the
+#: binned task sets exactly once and serves every (bin, set, scheme) job
+#: from the same objects -- which also lets the worker's analysis cache
+#: fire across schemes.  Only the latest spec is retained.
+_WORKER_TASKSETS: Dict[tuple, Dict[Tuple[float, float], List[TaskSet]]] = {}
+
+
+def _regenerated_tasksets(
+    bins: Tuple[Tuple[float, float], ...],
+    sets_per_bin: int,
+    config: Optional[GeneratorConfig],
+    seed: Optional[int],
+) -> Dict[Tuple[float, float], List[TaskSet]]:
+    key = (bins, sets_per_bin, _config_key(config), seed)
+    cached = _WORKER_TASKSETS.get(key)
+    if cached is None:
+        cached = generate_binned_tasksets(list(bins), sets_per_bin, config, seed)
+        _WORKER_TASKSETS.clear()
+        _WORKER_TASKSETS[key] = cached
+    return cached
+
+
+def _run_one(job: tuple) -> Tuple[float, int]:
+    """Module-level worker so ProcessPoolExecutor can pickle it.
+
+    ``job`` is a descriptor tuple:
+
+    * ``("set", taskset, scheme, scenario, horizon_cap_units)`` carries a
+      pickled TaskSet (used for explicitly supplied workloads and for the
+      inline ``workers=1`` path);
+    * ``("gen", bins, sets_per_bin, config, seed, bin_range, index,
+      scheme, scenario, horizon_cap_units)`` names a task set by position
+      within a deterministic generation, regenerated worker-side via
+      :data:`_WORKER_TASKSETS`.
+    """
+    kind = job[0]
+    if kind == "set":
+        _, taskset, scheme, scenario, horizon_cap_units = job
+    elif kind == "gen":
+        (
+            _,
+            bins,
+            sets_per_bin,
+            config,
+            seed,
+            bin_range,
+            index,
+            scheme,
+            scenario,
+            horizon_cap_units,
+        ) = job
+        taskset = _regenerated_tasksets(bins, sets_per_bin, config, seed)[
+            bin_range
+        ][index]
+    else:  # pragma: no cover - descriptors are built in this module
+        raise ConfigurationError(f"unknown sweep job kind {kind!r}")
     outcome = run_scheme(
         taskset, scheme, scenario=scenario, horizon_cap_units=horizon_cap_units
     )
@@ -95,16 +177,18 @@ def utilization_sweep(
         bins: (lo, hi) utilization intervals.
         schemes: scheme names to compare (must include the reference).
         scenario_factory: per-task-set fault scenario builder; fault-free
-            when omitted.
+            when omitted.  Always invoked in the parent process, in global
+            set order, regardless of ``workers``.
         sets_per_bin: schedulable sets per bin (the paper's >= 20).
         reference_scheme: normalization reference (the paper's MKSS_ST).
         generator_config: workload generator knobs.
         seed: workload RNG seed (fixed default for reproducibility).
         horizon_cap_units: simulation horizon cap per set.
         tasksets_by_bin: pre-generated task sets (skips generation).
-        workers: > 1 fans the (task set, scheme) runs out over a process
-            pool; results are identical to the sequential run (each run is
-            deterministic given its scenario).
+        workers: > 1 fans the (task set, scheme) runs out over a single
+            persistent process pool spanning every bin; results are
+            identical to the sequential run (each run is deterministic
+            given its scenario).
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -112,39 +196,73 @@ def utilization_sweep(
         )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    generated_spec: Optional[tuple] = None
     if tasksets_by_bin is None:
+        generated_spec = (
+            tuple(tuple(b) for b in bins),
+            sets_per_bin,
+            generator_config,
+            seed,
+        )
         tasksets_by_bin = generate_binned_tasksets(
             bins, sets_per_bin, generator_config, seed
         )
-    sweep = SweepResult(schemes=tuple(schemes), reference_scheme=reference_scheme)
+    # Workers regenerate internally generated workloads from the spec (a
+    # few ints beat a pickled TaskSet per job); supplied workloads have no
+    # spec and are shipped pickled.
+    ship_spec = workers > 1 and generated_spec is not None
+
+    jobs: List[tuple] = []
+    meta: List[Tuple[Tuple[float, float], str]] = []
+    populated: List[Tuple[Tuple[float, float], int]] = []
     set_counter = 0
     for bin_range in bins:
-        tasksets = tasksets_by_bin.get(tuple(bin_range), [])
+        key = tuple(bin_range)
+        tasksets = tasksets_by_bin.get(key, [])
         if not tasksets:
             continue
-        totals: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
-        violations: Dict[str, int] = {scheme: 0 for scheme in schemes}
-        jobs = []
-        for taskset in tasksets:
+        populated.append((key, len(tasksets)))
+        for index, taskset in enumerate(tasksets):
             scenario = (
                 scenario_factory(set_counter) if scenario_factory else None
             )
             set_counter += 1
             for scheme in schemes:
-                jobs.append((taskset, scheme, scenario, horizon_cap_units))
-        if workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
+                meta.append((key, scheme))
+                if ship_spec:
+                    jobs.append(
+                        ("gen", *generated_spec, key, index, scheme, scenario,
+                         horizon_cap_units)
+                    )
+                else:
+                    jobs.append(
+                        ("set", taskset, scheme, scenario, horizon_cap_units)
+                    )
 
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_one, jobs))
-        else:
-            results = [_run_one(job) for job in jobs]
-        for (taskset, scheme, _, _), (energy, job_violations) in zip(
-            jobs, results
-        ):
-            totals[scheme].append(energy)
-            violations[scheme] += job_violations
-        mean_energy = {scheme: mean(values) for scheme, values in totals.items()}
+    if workers > 1 and jobs:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_run_one, jobs, chunksize=chunksize))
+    else:
+        results = [_run_one(job) for job in jobs]
+
+    totals: Dict[Tuple[float, float], Dict[str, List[float]]] = {
+        key: {scheme: [] for scheme in schemes} for key, _ in populated
+    }
+    violations: Dict[Tuple[float, float], Dict[str, int]] = {
+        key: {scheme: 0 for scheme in schemes} for key, _ in populated
+    }
+    for (key, scheme), (energy, job_violations) in zip(meta, results):
+        totals[key][scheme].append(energy)
+        violations[key][scheme] += job_violations
+
+    sweep = SweepResult(schemes=tuple(schemes), reference_scheme=reference_scheme)
+    for key, count in populated:
+        mean_energy = {
+            scheme: mean(values) for scheme, values in totals[key].items()
+        }
         reference = mean_energy[reference_scheme]
         normalized = {
             scheme: (value / reference if reference else 0.0)
@@ -152,15 +270,15 @@ def utilization_sweep(
         }
         intervals = {
             scheme: confidence_interval95(values)
-            for scheme, values in totals.items()
+            for scheme, values in totals[key].items()
         }
         sweep.bins.append(
             BinResult(
-                bin_range=tuple(bin_range),
-                taskset_count=len(tasksets),
+                bin_range=key,
+                taskset_count=count,
                 mean_energy=mean_energy,
                 normalized_energy=normalized,
-                mk_violation_count=violations,
+                mk_violation_count=violations[key],
                 energy_ci95=intervals,
             )
         )

@@ -73,8 +73,18 @@ class MKHistory:
     """Sliding outcome window for one task, with FD queries.
 
     Records the success/miss outcome of each job as it is decided and
-    answers :meth:`flexibility_degree` for the next upcoming job in
-    O(k) time.
+    answers :meth:`flexibility_degree` for the next upcoming job in O(1)
+    amortized time: rewriting Definition 1, ``ones(last j entries)`` is
+    nondecreasing in ``j``, so the binding constraint of ``FD >= d`` is
+    the shortest suffix -- the last ``k - d`` entries must hold ``>= m``
+    ones.  Hence with ``p`` = how deep into the window the m-th most
+    recent success sits (1 = newest entry)::
+
+        FD = k - max(p, m)        (0 when fewer than m successes remain)
+
+    The class therefore maintains the sequence numbers of the successes
+    currently inside the window (at most ``k - 1`` of them) alongside the
+    window itself, and every :meth:`record` call updates both in O(1).
 
     Args:
         mk: the task's (m,k)-constraint.
@@ -83,7 +93,7 @@ class MKHistory:
             ``False`` reproduces the R-pattern's deeply-red pessimism.
     """
 
-    __slots__ = ("mk", "_window", "_recorded", "_misses")
+    __slots__ = ("mk", "_window", "_recorded", "_misses", "_seq", "_one_seqs")
 
     def __init__(self, mk: MKConstraint, initial_met: bool = True) -> None:
         if not isinstance(mk, MKConstraint):
@@ -98,6 +108,12 @@ class MKHistory:
             self._window.clear()
         self._recorded = 0
         self._misses = 0
+        # Sequence number of the newest window entry; the window holds
+        # entries (seq - depth, seq].  Initial padding occupies 1..depth.
+        self._seq = depth
+        self._one_seqs: Deque[int] = deque(
+            range(1, depth + 1) if initial_met else ()
+        )
 
     @property
     def recorded(self) -> int:
@@ -111,8 +127,16 @@ class MKHistory:
 
     def record(self, effective: bool) -> None:
         """Append the outcome of the most recently decided job."""
-        if self.mk.k > 1:
+        k = self.mk.k
+        if k > 1:
             self._window.append(bool(effective))
+            self._seq += 1
+            ones = self._one_seqs
+            if effective:
+                ones.append(self._seq)
+            cutoff = self._seq - (k - 1)
+            while ones and ones[0] <= cutoff:
+                ones.popleft()
         self._recorded += 1
         if not effective:
             self._misses += 1
@@ -122,8 +146,14 @@ class MKHistory:
         return tuple(self._window)
 
     def flexibility_degree(self) -> int:
-        """FD of the *next* job of this task (Definition 1)."""
-        return flexibility_degree(tuple(self._window), self.mk)
+        """FD of the *next* job of this task (Definition 1), in O(1)."""
+        m = self.mk.m
+        ones = self._one_seqs
+        if len(ones) < m:
+            return 0
+        # The m-th most recent success lies p entries deep in the window.
+        p = self._seq - ones[-m] + 1
+        return self.mk.k - (p if p > m else m)
 
     def next_is_mandatory(self) -> bool:
         """True when the next job must execute (FD == 0)."""

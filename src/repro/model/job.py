@@ -40,6 +40,19 @@ class JobStatus(enum.Enum):
     LOST = "lost"              #: copy destroyed by a permanent processor fault
 
 
+#: Statuses after which a copy never executes again.  Hot paths (ready
+#: queues, the engine's dispatch loop) test membership here directly
+#: rather than through the :attr:`Job.is_finished` property.
+FINISHED_STATUSES = frozenset(
+    (
+        JobStatus.COMPLETED,
+        JobStatus.CANCELED,
+        JobStatus.ABANDONED,
+        JobStatus.LOST,
+    )
+)
+
+
 class JobOutcome(enum.Enum):
     """Outcome of a *logical* job with respect to the (m,k) constraint."""
 
@@ -63,6 +76,11 @@ class Job:
         faulted: True when a transient fault will be detected at completion.
         sibling: the other copy of the same mandatory logical job, if any.
         processor: index of the processor this copy is bound to.
+        queue_key: ready-queue priority key assigned by the simulator at
+            copy creation ((task_index, job_index) for mandatory copies,
+            (flexibility degree, task_index, job_index) for optionals).
+            Kept on the copy itself so requeueing after preemption never
+            needs a side table.
     """
 
     __slots__ = (
@@ -81,6 +99,7 @@ class Job:
         "completion_time",
         "started_at",
         "name",
+        "queue_key",
     )
 
     def __init__(
@@ -117,6 +136,7 @@ class Job:
         self.completion_time: Optional[int] = None
         self.started_at: Optional[int] = None
         self.name = name or f"J{task_index + 1},{job_index}"
+        self.queue_key: "tuple[int, ...]" = (task_index, job_index)
 
     @property
     def executed(self) -> int:
@@ -126,12 +146,7 @@ class Job:
     @property
     def is_finished(self) -> bool:
         """True when this copy will never execute again."""
-        return self.status in (
-            JobStatus.COMPLETED,
-            JobStatus.CANCELED,
-            JobStatus.ABANDONED,
-            JobStatus.LOST,
-        )
+        return self.status in FINISHED_STATUSES
 
     def can_finish_by_deadline(self, now: int) -> bool:
         """Whether the remaining budget fits before the deadline from ``now``.

@@ -25,7 +25,7 @@ def _lcm(a: int, b: int) -> int:
 class TaskSet:
     """An immutable, priority-ordered set of periodic tasks."""
 
-    __slots__ = ("_tasks",)
+    __slots__ = ("_tasks", "_fingerprint")
 
     def __init__(self, tasks: Iterable[Task]) -> None:
         task_list: List[Task] = list(tasks)
@@ -34,6 +34,7 @@ class TaskSet:
         for position, task in enumerate(task_list):
             if not isinstance(task, Task):
                 raise ModelError(f"element {position} is not a Task: {task!r}")
+        self._fingerprint: "tuple | None" = None
         self._tasks = tuple(
             task if task.name else Task(
                 task.period, task.deadline, task.wcet, task.mk,
@@ -55,6 +56,26 @@ class TaskSet:
     def tasks(self) -> Sequence[Task]:
         """The tasks in priority order (index 0 = highest priority)."""
         return self._tasks
+
+    def fingerprint(self) -> "tuple":
+        """Hashable identity of the analysis-relevant parameters.
+
+        The tuple of per-task ``(period, deadline, wcet, m, k)`` in
+        priority order, with the temporal parameters as exact Fractions.
+        Two task sets with equal fingerprints are indistinguishable to
+        every offline analysis and to the simulator, so the fingerprint
+        keys the :mod:`repro.analysis.cache` entries.  Names are
+        deliberately excluded.  Computed once and memoized (the task set
+        is immutable).
+        """
+        fp = self._fingerprint
+        if fp is None:
+            fp = tuple(
+                (task.period, task.deadline, task.wcet, task.mk.m, task.mk.k)
+                for task in self._tasks
+            )
+            self._fingerprint = fp
+        return fp
 
     def priority_of(self, task: Task) -> int:
         """Index (= priority level) of a task; 0 is the highest priority."""

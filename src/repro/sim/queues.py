@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
-from ..model.job import Job
+from ..model.job import FINISHED_STATUSES, Job
 
 
 class ReadyQueue:
@@ -34,8 +34,9 @@ class ReadyQueue:
         self._seq += 1
 
     def _drop_finished(self) -> None:
-        while self._heap and self._heap[0][2].is_finished:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].status in FINISHED_STATUSES:
+            heapq.heappop(heap)
 
     def peek(self) -> Optional[Tuple[tuple, Job]]:
         """Most urgent live job without removing it, or None."""
@@ -44,6 +45,18 @@ class ReadyQueue:
             return None
         key, _, job = self._heap[0]
         return key, job
+
+    def head_key(self) -> Optional[tuple]:
+        """Priority key of the most urgent live job, or None when empty.
+
+        The engine's dispatcher calls this at every event boundary to
+        decide whether the running job must be displaced, so it avoids
+        the tuple allocation of :meth:`peek`.
+        """
+        self._drop_finished()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
 
     def pop(self) -> Optional[Tuple[tuple, Job]]:
         """Remove and return the most urgent live job, or None."""

@@ -70,15 +70,27 @@ class LogicalJobRecord:
 
 
 class ExecutionTrace:
-    """Complete record of one simulation run."""
+    """Complete record of one simulation run.
+
+    Adjacent segments of the same (task, job, role) on one processor are
+    coalesced as they are recorded, so a long uninterrupted execution
+    crossing many event boundaries costs O(preemptions) segments rather
+    than O(events).
+    """
 
     def __init__(self, processor_count: int = 2) -> None:
         if processor_count < 1:
             raise SimulationError("need at least one processor")
         self.processor_count = processor_count
-        self.segments: List[Segment] = []
+        self._segments: List[Segment] = []
         self.events: List[TraceEvent] = []
         self.records: Dict[Tuple[int, int], LogicalJobRecord] = {}
+        # Each processor's still-growing tail interval, the only
+        # coalescing candidate: [start, end, task_index, job_index, role]
+        # (role as the enum member -- its ``.value`` is resolved only when
+        # the interval is sealed into a Segment).  Extending a run is then
+        # one integer store instead of a frozen-dataclass construction.
+        self._open: List[Optional[list]] = [None] * processor_count
 
     # -- recording ---------------------------------------------------------
 
@@ -86,16 +98,41 @@ class ExecutionTrace:
         """Record that ``job`` ran on ``processor`` during [start, end)."""
         if start == end:
             return
-        self.segments.append(
+        tail = self._open[processor]
+        if tail is not None:
+            if (
+                tail[1] == start
+                and tail[2] == job.task_index
+                and tail[3] == job.job_index
+                and tail[4] is job.role
+            ):
+                tail[1] = end
+                return
+            self._seal(processor, tail)
+        self._open[processor] = [start, end, job.task_index, job.job_index, job.role]
+
+    def _seal(self, processor: int, tail: list) -> None:
+        self._segments.append(
             Segment(
                 processor=processor,
-                start=start,
-                end=end,
-                task_index=job.task_index,
-                job_index=job.job_index,
-                role=job.role.value,
+                start=tail[0],
+                end=tail[1],
+                task_index=tail[2],
+                job_index=tail[3],
+                role=tail[4].value,
             )
         )
+
+    @property
+    def segments(self) -> List[Segment]:
+        """All recorded segments (coalesced), in recording order."""
+        opens = self._open
+        for processor in range(self.processor_count):
+            tail = opens[processor]
+            if tail is not None:
+                self._seal(processor, tail)
+                opens[processor] = None
+        return self._segments
 
     def log(self, time: int, kind: str, detail: str) -> None:
         """Append a trace event."""

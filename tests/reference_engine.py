@@ -1,198 +1,45 @@
-"""The dual-processor standby-sparing discrete-event engine.
+"""The seed (v0) standby-sparing engine, kept as a differential oracle.
 
-One engine serves every scheme in the paper; what differs between
-MKSS-ST, MKSS-DP, the greedy scheme, and MKSS-Selective is *policy*:
-how a released job is classified (statically by pattern or dynamically by
-flexibility degree), which processor each copy goes to, and how much each
-backup release is postponed.  Policies express exactly that through
-:meth:`SchedulingPolicy.plan_release`; the engine owns everything else:
+This is the engine exactly as it shipped before the hot-path overhaul:
+every event boundary pops the most urgent ready job per processor and
+re-enqueues whatever was preempted, optional queue keys live in a side
+table, and the permanent-fault handler scans every logical job.  It is
+deliberately *not* optimized -- its value is that it shares none of the
+fast path's dispatch bookkeeping (running-job slots, displacement tests,
+pending-copy sets), so agreement between the two engines on traces,
+outcomes, and energy is strong evidence the fast path preserved the
+scheduling semantics.
 
-* per-processor mandatory (MJQ) and optional (OJQ) ready queues, with the
-  MJQ strictly above the OJQ (Algorithm 1, lines 2-9);
-* preemptive fixed-priority dispatch inside each queue (optional jobs are
-  ordered by (flexibility degree, task priority) -- the paper's
-  "more flexible = less urgent" footnote);
-* dropping optional jobs that can no longer finish by their deadline
-  (Figure 2's O11);
-* backup cancellation the instant the sibling copy completes successfully;
-* transient-fault detection at completion and permanent-fault takeover;
-* outcome recording and (m,k)-history maintenance, so flexibility degrees
-  evolve exactly as in the paper's traces.
-
-All times are integer ticks (see :mod:`repro.timebase`).
+Used only by tests (see tests/property/test_prop_fastpath.py); never
+import this from package code.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..errors import ConfigurationError, SimulationError
-from ..model.history import MKHistory
-from ..model.job import FINISHED_STATUSES, Job, JobOutcome, JobRole, JobStatus
-from ..model.taskset import TaskSet
-from ..timebase import TimeBase
-from .queues import ReadyQueue
-from .trace import ExecutionTrace, LogicalJobRecord
+from repro.errors import ConfigurationError, SimulationError
+from repro.model.history import MKHistory
+from repro.model.job import Job, JobOutcome, JobRole, JobStatus
+from repro.model.taskset import TaskSet
+from repro.sim.engine import (
+    PRIMARY,
+    SPARE,
+    ExecutionTimeFn,
+    PolicyContext,
+    SchedulingPolicy,
+    SimulationResult,
+    TransientFaultFn,
+    _EV_DEADLINE,
+    _EV_ENQUEUE,
+    _EV_PERMFAULT,
+    _EV_RELEASE,
+)
+from repro.sim.queues import ReadyQueue
+from repro.sim.trace import ExecutionTrace, LogicalJobRecord
+from repro.timebase import TimeBase
 
-#: Conventional processor indices.
-PRIMARY = 0
-SPARE = 1
-
-# Event kinds double as the ordering at equal ticks: permanent faults
-# strike first, then deadlines are judged, then new jobs arrive, then
-# postponed copies enqueue.  Integer kinds keep event dispatch off the
-# string-comparison path.
-_EV_PERMFAULT = 0
-_EV_DEADLINE = 1
-_EV_RELEASE = 2
-_EV_ENQUEUE = 3
-
-
-@dataclass(frozen=True)
-class CopySpec:
-    """One copy the policy wants to create for a released logical job."""
-
-    role: JobRole
-    processor: int
-    enqueue_tick: int
-
-
-@dataclass(frozen=True)
-class ReleasePlan:
-    """Policy verdict for one released logical job.
-
-    Attributes:
-        copies: the copies to instantiate (empty = the job is skipped).
-        classified_as: "mandatory" / "optional" / "skipped" for reporting.
-    """
-
-    copies: Tuple[CopySpec, ...]
-    classified_as: str
-
-    @classmethod
-    def skip(cls) -> "ReleasePlan":
-        return cls(copies=(), classified_as="skipped")
-
-
-@dataclass
-class PolicyContext:
-    """Everything a policy may consult when planning a release."""
-
-    taskset: TaskSet
-    timebase: TimeBase
-    horizon_ticks: int
-    histories: Sequence[MKHistory]
-    dead_processor: Optional[int] = None
-
-    @property
-    def fault_mode(self) -> bool:
-        """True once a permanent fault has removed one processor."""
-        return self.dead_processor is not None
-
-    def surviving_processor(self) -> int:
-        """The processor still alive after a permanent fault."""
-        if self.dead_processor is None:
-            raise SimulationError("no permanent fault has occurred")
-        return SPARE if self.dead_processor == PRIMARY else PRIMARY
-
-
-class SchedulingPolicy:
-    """Base class for standby-sparing scheduling policies.
-
-    Subclasses must implement :meth:`plan_release`; the other hooks have
-    sensible defaults.
-
-    Attributes:
-        optional_preemption: when True (default) a more urgent optional
-            job preempts a running optional job; when False a dispatched
-            optional runs to completion unless a *mandatory* job arrives
-            (the paper's greedy trace in Figure 3 behaves this way --
-            O12 is never started because O22 holds the processor).
-            Mandatory jobs always preempt optional ones either way.
-    """
-
-    name = "abstract"
-    optional_preemption = True
-
-    def prepare(self, ctx: PolicyContext) -> None:
-        """One-time offline analysis before the simulation starts."""
-
-    def plan_release(
-        self,
-        ctx: PolicyContext,
-        task_index: int,
-        job_index: int,
-        release: int,
-        deadline: int,
-        fd: int,
-    ) -> ReleasePlan:
-        """Classify a released logical job and emit its copies."""
-        raise NotImplementedError
-
-    def on_permanent_fault(self, ctx: PolicyContext, dead_processor: int) -> None:
-        """React to a permanent processor fault (optional)."""
-
-    def plan_recovery(
-        self, ctx: PolicyContext, job: "Job", now: int
-    ) -> Optional[CopySpec]:
-        """Optionally schedule a recovery copy for a transiently faulted job.
-
-        Called when a copy completes with a detected transient fault and
-        the logical job is still undecided.  Returning a
-        :class:`CopySpec` creates a fresh copy of the same logical job
-        (software re-execution, the redundancy style of Zhu et al. that
-        the paper's introduction contrasts with standby-sparing);
-        returning None (default) leaves recovery to the sibling backup.
-        """
-        return None
-
-
-TransientFaultFn = Callable[[Job, int], bool]
-"""Callable deciding whether a completing copy suffered a transient fault.
-
-Receives the job copy and the completion tick; returns True on fault.
-"""
-
-ExecutionTimeFn = Callable[[int, int, int], int]
-"""Callable giving a logical job's *actual* execution time in ticks.
-
-Receives (task_index, job_index, wcet_ticks); must return a value in
-[1, wcet_ticks].  Both copies of a mandatory job share the actual time
-(same input, same computation).  None means "always WCET", the paper's
-assumption.
-"""
-
-
-@dataclass
-class SimulationResult:
-    """Everything observable about one simulation run."""
-
-    taskset: TaskSet
-    timebase: TimeBase
-    horizon_ticks: int
-    policy_name: str
-    trace: ExecutionTrace
-    permanent_fault: Optional[Tuple[int, int]] = None  # (processor, tick)
-    transient_fault_count: int = 0
-    released_jobs: int = 0
-
-    def mk_satisfied(self) -> List[bool]:
-        """Per-task verdict: did every k-window keep >= m successes?"""
-        verdicts = []
-        for index, task in enumerate(self.taskset):
-            outcomes = self.trace.outcomes_for_task(index)
-            verdicts.append(task.mk.is_satisfied_by(outcomes))
-        return verdicts
-
-    def all_mk_satisfied(self) -> bool:
-        """True when no task violated its (m,k)-constraint."""
-        return all(self.mk_satisfied())
-
-    def busy_ticks(self, processor: Optional[int] = None) -> int:
-        """Execution ticks inside [0, horizon)."""
-        return self.trace.busy_ticks(processor, window=(0, self.horizon_ticks))
 
 
 class _LogicalJob:
@@ -206,8 +53,8 @@ class _LogicalJob:
         self.decided = False
 
 
-class StandbySparingEngine:
-    """Simulates one policy over one task set on two processors."""
+class ReferenceStandbySparingEngine:
+    """The pre-overhaul engine: pop/re-push dispatch at every boundary."""
 
     def __init__(
         self,
@@ -270,51 +117,31 @@ class StandbySparingEngine:
         )
         self.policy.prepare(ctx)
 
-        # Hot-path locals: the closures below run for every event and
-        # boundary, so instance attributes they need are bound once here.
-        policy = self.policy
-        plan_release = policy.plan_release
-        plan_recovery = policy.plan_recovery
-        horizon = self.horizon
-        execution_time_fn = self.execution_time_fn
-        transient_fault_fn = self.transient_fault_fn
-
         trace = ExecutionTrace(processor_count=2)
-        add_segment = trace.add_segment
         alive = [True, True]
         mjq = [ReadyQueue(), ReadyQueue()]
         ojq = [ReadyQueue(), ReadyQueue()]
         logical: Dict[Tuple[int, int], _LogicalJob] = {}
-        # Copies with a scheduled future enqueue, per processor, so a
-        # permanent fault can mark exactly the live postponed copies LOST
-        # without scanning every logical job ever released.
-        pending: List[set] = [set(), set()]
+        ojq_keys: Dict[int, tuple] = {}  # id(job) -> OJQ key
         periods = [base.to_ticks(task.period) for task in taskset]
         deadlines = [base.to_ticks(task.deadline) for task in taskset]
         wcets = [base.to_ticks(task.wcet) for task in taskset]
         transient_faults = 0
         released_jobs = 0
 
-        # Heap entries are (time, kind, seq, a, b); ``a``/``b`` are the
-        # kind-specific arguments (task/job indices, a Job, a processor).
-        heap: List[Tuple[int, int, int, object, object]] = []
+        heap: List[Tuple[int, int, int, tuple]] = []
         seq = 0
 
-        def push_event(time: int, kind: int, a: object = None, b: object = None) -> None:
+        def push_event(time: int, order: int, payload: tuple) -> None:
             nonlocal seq
-            heapq.heappush(heap, (time, kind, seq, a, b))
+            heapq.heappush(heap, (time, order, seq, payload))
             seq += 1
 
-        def defer_enqueue(job: Job) -> None:
-            """Schedule a postponed copy's future enqueue and track it."""
-            pending[job.processor].add(job)
-            push_event(job.enqueue_time, _EV_ENQUEUE, job)
-
         for index in range(len(taskset)):
-            push_event(0, _EV_RELEASE, index, 1)
+            push_event(0, _EV_RELEASE, ("release", index, 1))
         if self.permanent_fault is not None:
             processor, tick = self.permanent_fault
-            push_event(tick, _EV_PERMFAULT, processor)
+            push_event(tick, _EV_PERMFAULT, ("permfault", processor))
 
         # -- helpers bound to local state -----------------------------------
 
@@ -346,16 +173,16 @@ class StandbySparingEngine:
                 return
             job.status = JobStatus.READY
             if job.role is JobRole.OPTIONAL:
-                ojq[job.processor].push(job.queue_key, job)
+                ojq[job.processor].push(ojq_keys[id(job)], job)
             else:
-                mjq[job.processor].push(job.queue_key, job)
+                mjq[job.processor].push((job.task_index, job.job_index), job)
 
         def handle_completion(job: Job, now: int) -> None:
             nonlocal transient_faults
             job.status = JobStatus.COMPLETED
             job.completion_time = now
             faulted = bool(
-                transient_fault_fn and transient_fault_fn(job, now)
+                self.transient_fault_fn and self.transient_fault_fn(job, now)
             )
             job.faulted = faulted
             if faulted:
@@ -364,11 +191,11 @@ class StandbySparingEngine:
             entry = logical[job.key()]
             if faulted:
                 if not entry.decided:
-                    spec = plan_recovery(ctx, job, now)
+                    spec = self.policy.plan_recovery(ctx, job, now)
                     if spec is not None:
                         if not alive[spec.processor]:
                             raise SimulationError(
-                                f"policy {policy.name} planned a "
+                                f"policy {self.policy.name} planned a "
                                 f"recovery onto dead processor {spec.processor}"
                             )
                         recovery = Job(
@@ -383,7 +210,7 @@ class StandbySparingEngine:
                         )
                         entry.copies.append(recovery)
                         if spec.role is JobRole.OPTIONAL:
-                            recovery.queue_key = (
+                            ojq_keys[id(recovery)] = (
                                 entry.record.flexibility_degree or 0,
                                 job.task_index,
                                 job.job_index,
@@ -394,7 +221,11 @@ class StandbySparingEngine:
                         if recovery.enqueue_time <= now:
                             enqueue_copy(recovery, now)
                         else:
-                            defer_enqueue(recovery)
+                            push_event(
+                                recovery.enqueue_time,
+                                _EV_ENQUEUE,
+                                ("enqueue", recovery),
+                            )
                     elif job.role is JobRole.OPTIONAL:
                         # No backup and no recovery: the optional job is
                         # simply not effective.  Decide immediately (the
@@ -423,11 +254,11 @@ class StandbySparingEngine:
         def handle_release(task_index: int, job_index: int, now: int) -> None:
             nonlocal released_jobs
             release = (job_index - 1) * periods[task_index]
-            if release >= horizon:
+            if release >= self.horizon:
                 return
             deadline = release + deadlines[task_index]
             fd = histories[task_index].flexibility_degree()
-            plan = plan_release(
+            plan = self.policy.plan_release(
                 ctx, task_index, job_index, release, deadline, fd
             )
             record = LogicalJobRecord(
@@ -444,8 +275,8 @@ class StandbySparingEngine:
             released_jobs += 1
 
             actual_wcet = wcets[task_index]
-            if execution_time_fn is not None and plan.copies:
-                actual_wcet = execution_time_fn(
+            if self.execution_time_fn is not None and plan.copies:
+                actual_wcet = self.execution_time_fn(
                     task_index, job_index, wcets[task_index]
                 )
                 if not 1 <= actual_wcet <= wcets[task_index]:
@@ -459,7 +290,7 @@ class StandbySparingEngine:
                 if not alive[spec.processor]:
                     # Planning onto a dead processor is a policy bug.
                     raise SimulationError(
-                        f"policy {policy.name} planned a copy onto dead "
+                        f"policy {self.policy.name} planned a copy onto dead "
                         f"processor {spec.processor}"
                     )
                 job = Job(
@@ -482,15 +313,19 @@ class StandbySparingEngine:
                         )
                     main_copy.link_backup(job)
                 else:
-                    job.queue_key = (fd, task_index, job_index)
+                    ojq_keys[id(job)] = (fd, task_index, job_index)
                 if job.enqueue_time <= now:
                     enqueue_copy(job, now)
                 else:
-                    defer_enqueue(job)
-            push_event(deadline, _EV_DEADLINE, task_index, job_index)
+                    push_event(
+                        job.enqueue_time, _EV_ENQUEUE, ("enqueue", job)
+                    )
+            push_event(deadline, _EV_DEADLINE, ("deadline", task_index, job_index))
             next_release = job_index * periods[task_index]
-            if next_release < horizon:
-                push_event(next_release, _EV_RELEASE, task_index, job_index + 1)
+            if next_release < self.horizon:
+                push_event(
+                    next_release, _EV_RELEASE, ("release", task_index, job_index + 1)
+                )
 
         def handle_permfault(processor: int, now: int) -> None:
             if not alive[processor]:
@@ -502,26 +337,13 @@ class StandbySparingEngine:
                 for job in queue.live_jobs():
                     job.status = JobStatus.LOST
             # PENDING copies bound to the dead processor (postponed backups
-            # not yet enqueued) are tracked per processor, so the fault
-            # handler touches only live copies -- not every logical job
-            # ever released.
-            for job in pending[processor]:
-                if not job.is_finished:
-                    job.status = JobStatus.LOST
-            pending[processor].clear()
-            for slot in (current, sticky):
-                job = slot[processor]
-                if job is not None:
-                    if not job.is_finished:
+            # not yet enqueued) are lost as well.
+            for entry in logical.values():
+                for job in entry.copies:
+                    if job.processor == processor and not job.is_finished:
                         job.status = JobStatus.LOST
-                    slot[processor] = None
-            policy.on_permanent_fault(ctx, processor)
+            self.policy.on_permanent_fault(ctx, processor)
 
-        #: The copy occupying each processor since the last event boundary.
-        current: List[Optional[Job]] = [None, None]
-        #: A dispatched non-preemptible optional holds its processor (the
-        #: paper's greedy trace): it resumes ahead of the OJQ until it
-        #: finishes or becomes infeasible, even while mandatory work runs.
         sticky: List[Optional[Job]] = [None, None]
 
         def drop_infeasible_optional(job: Job, now: int) -> None:
@@ -549,25 +371,13 @@ class StandbySparingEngine:
                     return None
                 _, job = candidate
                 if job.can_finish_by_deadline(now):
-                    if not optional_preemption:
+                    if not self.policy.optional_preemption:
                         sticky[processor] = job
                     return job
                 drop_infeasible_optional(job, now)
 
         # -- main loop -------------------------------------------------------
-        #
-        # Fast path: each processor keeps its running job across event
-        # boundaries; the job is displaced only when a strictly more
-        # urgent arrival actually lands (mandatory over optional, or a
-        # smaller priority key within the same queue).  This replaces the
-        # seed engine's pop/re-push of every running job at every event
-        # boundary with two O(1) head peeks per boundary.
 
-        optional_preemption = policy.optional_preemption
-        OPTIONAL = JobRole.OPTIONAL
-        RUNNING = JobStatus.RUNNING
-        finished_statuses = FINISHED_STATUSES
-        heappop = heapq.heappop
         now = 0
         guard = 0
         guard_limit = 10_000_000
@@ -576,88 +386,61 @@ class StandbySparingEngine:
             if guard > guard_limit:
                 raise SimulationError("simulation did not terminate (guard hit)")
             while heap and heap[0][0] <= now:
-                _, kind, _, a, b = heappop(heap)
-                if kind == _EV_RELEASE:
-                    handle_release(a, b, now)
-                elif kind == _EV_DEADLINE:
-                    handle_deadline(a, b, now)
-                elif kind == _EV_ENQUEUE:
-                    pending[a.processor].discard(a)
-                    enqueue_copy(a, now)
-                elif kind == _EV_PERMFAULT:
-                    handle_permfault(a, now)
+                _, _, _, payload = heapq.heappop(heap)
+                kind = payload[0]
+                if kind == "release":
+                    handle_release(payload[1], payload[2], now)
+                elif kind == "deadline":
+                    handle_deadline(payload[1], payload[2], now)
+                elif kind == "enqueue":
+                    enqueue_copy(payload[1], now)
+                elif kind == "permfault":
+                    handle_permfault(payload[1], now)
                 else:  # pragma: no cover
                     raise SimulationError(f"unknown event kind {kind!r}")
 
-            next_completion: Optional[int] = None
+            running: List[Job] = []
             for processor in (PRIMARY, SPARE):
                 if not alive[processor]:
                     continue
-                job = current[processor]
-                if job is not None and job.status in finished_statuses:
-                    # Canceled / abandoned / lost by an event handler.
-                    job = None
+                job = pick(processor, now)
                 if job is not None:
-                    if job.role is OPTIONAL:
-                        if mjq[processor]:
-                            displaced = True
-                        elif optional_preemption:
-                            head = ojq[processor].head_key()
-                            displaced = head is not None and head < job.queue_key
-                        else:
-                            displaced = False
-                    else:
-                        head = mjq[processor].head_key()
-                        displaced = head is not None and head < job.queue_key
-                    if displaced:
-                        # A held (sticky) optional parks in its slot and
-                        # resumes ahead of the OJQ; anything else rejoins
-                        # its ready queue.
-                        if job is not sticky[processor]:
-                            enqueue_copy(job, now)
-                        job = None
-                if job is None:
-                    job = pick(processor, now)
-                if job is not None:
-                    job.status = RUNNING
-                    completion = now + job.remaining
-                    if next_completion is None or completion < next_completion:
-                        next_completion = completion
-                current[processor] = job
+                    job.status = JobStatus.RUNNING
+                    running.append(job)
 
             next_heap_time = heap[0][0] if heap else None
+            next_completion = (
+                min(now + job.remaining for job in running) if running else None
+            )
             if next_heap_time is None and next_completion is None:
                 break
-            if next_heap_time is None:
-                next_time = next_completion
-            elif next_completion is None:
-                next_time = next_heap_time
-            else:
-                next_time = min(next_heap_time, next_completion)
+            candidates = [
+                t for t in (next_heap_time, next_completion) if t is not None
+            ]
+            next_time = min(candidates)
             if next_time < now:  # pragma: no cover - heap is monotone
                 raise SimulationError("time went backwards")
 
             if next_time > now:
-                for processor in (PRIMARY, SPARE):
-                    job = current[processor]
-                    if job is None:
-                        continue
+                for job in running:
                     ran = min(job.remaining, next_time - now)
                     if job.started_at is None:
                         job.started_at = now
-                    add_segment(processor, now, now + ran, job)
+                    trace.add_segment(job.processor, now, now + ran, job)
                     job.remaining -= ran
+            completed = [job for job in running if job.remaining == 0]
+            for job in running:
+                if job.remaining > 0 and job is not sticky[job.processor]:
+                    enqueue_copy(job, next_time)
+            for job in completed:
+                if job is sticky[job.processor]:
+                    sticky[job.processor] = None
             now = next_time
             # Primary-processor completions are processed first so a main
             # copy's success cancels its just-finished backup's outcome
             # claim deterministically (both completed the same tick).
-            for processor in (PRIMARY, SPARE):
-                job = current[processor]
-                if job is not None and job.remaining == 0:
-                    current[processor] = None
-                    if job is sticky[processor]:
-                        sticky[processor] = None
-                    handle_completion(job, now)
+            for job in sorted(completed, key=lambda j: j.processor):
+                handle_completion(job, now)
 
         trace.validate()
         return SimulationResult(

@@ -185,6 +185,73 @@ class TestTransientFaults:
         assert result.busy_ticks(0) == 4  # energy was still spent
 
 
+class PostponedBackup(SchedulingPolicy):
+    """Test policy: main at release, backup enqueued 6 ticks later."""
+
+    name = "test-postponed-backup"
+
+    def plan_release(self, ctx, task_index, job_index, release, deadline, fd):
+        if ctx.fault_mode:
+            return ReleasePlan(
+                copies=(CopySpec(JobRole.MAIN, ctx.surviving_processor(), release),),
+                classified_as="mandatory",
+            )
+        return ReleasePlan(
+            copies=(
+                CopySpec(JobRole.MAIN, PRIMARY, release),
+                CopySpec(JobRole.BACKUP, SPARE, release + 6),
+            ),
+            classified_as="mandatory",
+        )
+
+
+class TestPermfaultPendingCopies:
+    """A permanent fault must mark postponed, not-yet-enqueued copies LOST."""
+
+    def test_pending_backup_on_dead_processor_never_runs(self, one_task):
+        # Backup's enqueue (tick 6) is scheduled after the spare dies
+        # (tick 3): the enqueue event still fires, but the copy was marked
+        # LOST from the pending set and must never execute.
+        result = StandbySparingEngine(
+            one_task, PostponedBackup(), 10, permanent_fault=(SPARE, 3)
+        ).run()
+        assert result.trace.segments_on(SPARE) == []
+        assert result.all_mk_satisfied()  # main alone completed at 4
+
+    def test_lost_pending_backup_cannot_save_faulted_main(self, one_task):
+        def fault_mains(job, now):
+            return job.role is JobRole.MAIN
+
+        result = StandbySparingEngine(
+            one_task,
+            PostponedBackup(),
+            10,
+            permanent_fault=(SPARE, 3),
+            transient_fault_fn=fault_mains,
+        ).run()
+        # The backup that would have recovered the fault was LOST with
+        # the spare, so the job misses.
+        assert result.trace.outcomes_for_task(0)[0] is False
+        assert result.trace.segments_on(SPARE) == []
+
+    def test_pending_backup_survives_fault_on_other_processor(self, one_task):
+        def fault_mains(job, now):
+            return job.role is JobRole.MAIN
+
+        result = StandbySparingEngine(
+            one_task,
+            PostponedBackup(),
+            10,
+            permanent_fault=(PRIMARY, 5),
+            transient_fault_fn=fault_mains,
+        ).run()
+        # The primary's death must not disturb the spare's pending set:
+        # the postponed backup enqueues at 6 and completes by 10.
+        assert result.trace.outcomes_for_task(0)[0] is True
+        spare_segments = result.trace.segments_on(SPARE)
+        assert spare_segments and spare_segments[0].start >= 6
+
+
 class TestOutcomeRecording:
     def test_skipped_job_recorded_missed(self):
         ts = TaskSet([Task(10, 10, 4, 1, 2)])

@@ -89,3 +89,57 @@ class TestExecutionTrace:
     def test_bad_processor_count(self):
         with pytest.raises(SimulationError):
             ExecutionTrace(processor_count=0)
+
+
+class TestSegmentCoalescing:
+    def test_adjacent_same_copy_coalesces(self):
+        trace = ExecutionTrace()
+        job = make_job()
+        trace.add_segment(0, 0, 3, job)
+        trace.add_segment(0, 3, 7, job)
+        trace.add_segment(0, 7, 8, job)
+        assert trace.segments == [Segment(0, 0, 8, 0, 1, "main")]
+
+    def test_gap_breaks_coalescing(self):
+        trace = ExecutionTrace()
+        job = make_job()
+        trace.add_segment(0, 0, 3, job)
+        trace.add_segment(0, 5, 7, job)
+        assert [(s.start, s.end) for s in trace.segments] == [(0, 3), (5, 7)]
+
+    def test_different_copy_breaks_coalescing(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 3, make_job())
+        trace.add_segment(0, 3, 5, make_job(index=2))
+        assert [(s.job_index, s.start, s.end) for s in trace.segments] == [
+            (1, 0, 3),
+            (2, 3, 5),
+        ]
+
+    def test_different_role_breaks_coalescing(self):
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 3, make_job(role=JobRole.MAIN))
+        trace.add_segment(0, 3, 5, make_job(role=JobRole.BACKUP))
+        assert [s.role for s in trace.segments] == ["main", "backup"]
+
+    def test_processors_coalesce_independently(self):
+        trace = ExecutionTrace()
+        a = make_job()
+        b = make_job(processor=1)
+        trace.add_segment(0, 0, 2, a)
+        trace.add_segment(1, 0, 2, b)
+        trace.add_segment(0, 2, 4, a)
+        trace.add_segment(1, 2, 4, b)
+        assert trace.busy_ticks(0) == 4
+        assert trace.busy_ticks(1) == 4
+        assert len(trace.segments) == 2
+
+    def test_reading_segments_does_not_lose_open_tail(self):
+        trace = ExecutionTrace()
+        job = make_job()
+        trace.add_segment(0, 0, 3, job)
+        assert len(trace.segments) == 1  # flushes the open tail
+        trace.add_segment(0, 3, 5, job)  # adjacency continues afterwards
+        assert [(s.start, s.end) for s in trace.segments] == [(0, 3), (3, 5)]
+        assert trace.busy_ticks(0) == 5
+        trace.validate()

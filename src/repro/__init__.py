@@ -26,6 +26,7 @@ from .errors import (
     ReproError,
     SimulationError,
     TimeBaseError,
+    UnknownSchemeError,
     UnschedulableError,
     WorkloadError,
 )
@@ -105,6 +106,7 @@ __all__ = [
     "UnschedulableError",
     "SimulationError",
     "ConfigurationError",
+    "UnknownSchemeError",
     "WorkloadError",
     # time
     "TimeBase",

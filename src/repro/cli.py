@@ -163,13 +163,22 @@ def parse_bins(spec: str):
 
 
 def cmd_sweep(args) -> int:
+    from .harness.events import EventLog
+    from .harness.report import format_event_summary
+
     panel = {"none": fig6a, "permanent": fig6b, "transient": fig6c}[args.faults]
     bins = parse_bins(args.bins) if args.bins else list(DEFAULT_BINS)
+    log = EventLog()
     sweep = panel(
         bins=bins,
         sets_per_bin=args.sets_per_bin,
         seed=args.seed,
         horizon_cap_units=args.horizon,
+        workers=args.workers,
+        journal_path=args.journal or None,
+        resume=args.resume,
+        job_timeout=args.job_timeout or None,
+        events=log,
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
     if args.chart:
@@ -177,6 +186,12 @@ def cmd_sweep(args) -> int:
 
         print()
         print(render_sweep_chart(sweep))
+    if args.events:
+        log.write_jsonl(args.events)
+        print(f"events written to {args.events} ({len(log.events)} events)")
+    if args.journal or args.events or args.workers > 1:
+        print()
+        print(format_event_summary(log))
     return 0
 
 
@@ -236,6 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = sequential)",
+    )
+    sweep.add_argument(
+        "--journal",
+        default="",
+        help="JSONL checkpoint journal; finished jobs are appended so an "
+        "interrupted sweep can be resumed with --resume",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume completed jobs from the --journal file",
+    )
+    sweep.add_argument(
+        "--job-timeout",
+        type=float,
+        default=0.0,
+        help="per-job wall-clock timeout in seconds for parallel runs "
+        "(0 = no timeout); a job over budget is retried, then dropped",
+    )
+    sweep.add_argument(
+        "--events",
+        default="",
+        help="write the run's structured events to this JSONL file",
     )
     sweep.set_defaults(func=cmd_sweep)
 

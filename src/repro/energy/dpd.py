@@ -26,13 +26,19 @@ def shutdown_decision(gap_units: Fraction, model: PowerModel) -> bool:
         sleep_power * gap + transition_energy < idle_power * gap
 
     With the paper's defaults (sleep = transition = 0) this reduces to the
-    paper's plain ``gap > T_be`` rule.
+    paper's plain ``gap > T_be`` rule.  The zero-power tie-break (idle and
+    sleep both free) only applies when the transition itself is also free:
+    with ``transition_energy > 0`` sleeping is a strict net loss and the
+    processor stays idle.
     """
     if gap_units <= model.break_even:
         return False
     sleep_cost = model.sleep_power * float(gap_units) + model.transition_energy
     idle_cost = model.idle_power * float(gap_units)
-    return sleep_cost < idle_cost or model.idle_power == model.sleep_power == 0.0
+    return sleep_cost < idle_cost or (
+        model.transition_energy == 0.0
+        and model.idle_power == model.sleep_power == 0.0
+    )
 
 
 @dataclass

@@ -36,5 +36,16 @@ class ConfigurationError(ReproError):
     """A scheduler or harness was configured with invalid options."""
 
 
+class UnknownSchemeError(ConfigurationError, KeyError):
+    """An unregistered scheme name was requested.
+
+    Also derives from :class:`KeyError` because the registry lookup
+    historically surfaced one; callers of either style keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return Exception.__str__(self)
+
+
 class WorkloadError(ReproError):
     """Random workload generation could not satisfy its constraints."""

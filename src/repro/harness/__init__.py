@@ -1,7 +1,17 @@
-"""Experiment harness: runners, utilization sweeps, and Figure 6 series."""
+"""Experiment harness: runners, utilization sweeps, Figure 6 series, and
+the resilient execution layer (journal, events, fault isolation)."""
 
 from .runner import SCHEME_FACTORIES, RunOutcome, run_scheme
-from .sweep import BinResult, SweepResult, utilization_sweep
+from .sweep import (
+    BinResult,
+    DroppedSet,
+    ExecutionPolicy,
+    SweepResult,
+    execute_jobs,
+    utilization_sweep,
+)
+from .events import EventLog, SweepEvent
+from .journal import RunJournal
 from .figures import (
     FIGURE_SCENARIOS,
     figure6_series,
@@ -9,7 +19,7 @@ from .figures import (
     fig6b,
     fig6c,
 )
-from .report import format_series_table, format_table
+from .report import format_event_summary, format_series_table, format_table
 from .ascii_chart import render_sweep_chart
 from .stats import mean, sample_std, confidence_interval95
 
@@ -18,8 +28,14 @@ __all__ = [
     "RunOutcome",
     "run_scheme",
     "BinResult",
+    "DroppedSet",
+    "ExecutionPolicy",
     "SweepResult",
+    "execute_jobs",
     "utilization_sweep",
+    "EventLog",
+    "SweepEvent",
+    "RunJournal",
     "FIGURE_SCENARIOS",
     "figure6_series",
     "fig6a",
@@ -27,6 +43,7 @@ __all__ = [
     "fig6c",
     "format_table",
     "format_series_table",
+    "format_event_summary",
     "render_sweep_chart",
     "mean",
     "sample_std",

@@ -83,6 +83,11 @@ def _run_panel(
     generator_config: Optional[GeneratorConfig] = None,
     horizon_cap_units: int = 2000,
     tasksets_by_bin=None,
+    workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    job_timeout: Optional[float] = None,
+    events=None,
 ) -> SweepResult:
     return utilization_sweep(
         bins=bins,
@@ -93,6 +98,11 @@ def _run_panel(
         seed=seed,
         horizon_cap_units=horizon_cap_units,
         tasksets_by_bin=tasksets_by_bin,
+        workers=workers,
+        journal_path=journal_path,
+        resume=resume,
+        job_timeout=job_timeout,
+        events=events,
     )
 
 

@@ -1,0 +1,192 @@
+"""Per-job JSONL run journal: checkpoint/resume for long sweeps.
+
+A Figure-6-scale sweep is hundreds of independent (task set, scheme)
+jobs; losing all of them to one crash, OOM kill, or Ctrl-C is the
+failure mode this module removes.  The journal is an append-only JSONL
+file the sweep writes as jobs finish:
+
+* line 1 is a **header** -- ``{"kind": "header", "version": 1,
+  "run_id": ..., "fingerprint": {...}}`` -- where the fingerprint
+  captures the sweep's identity (bins, schemes, seed, generator config,
+  workload digests ...);
+* every other line is a **job record** -- ``{"kind": "job", "key": ...,
+  "value": ..., "wall_s": ..., "attempt": ...}`` -- keyed by the
+  sweep's deterministic job key.
+
+Resuming loads the completed records (validating the header fingerprint
+against the sweep being run, so a journal is never silently replayed
+into a different experiment), skips their jobs, and appends the rest.
+Because every job is deterministic given its descriptor, and floats
+survive a JSON round trip exactly, a resumed sweep's result is bitwise
+identical to an uninterrupted run.
+
+Robustness rules: each record is flushed as it is written; a truncated
+*final* line (the telltale of a crash mid-write) is ignored on load;
+any other malformed line raises :class:`~repro.errors.ConfigurationError`
+rather than being guessed at.  Duplicate keys keep the last record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Journal schema version; bumped on incompatible format changes.
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """One sweep's checkpoint file.
+
+    Typical use (the sweep harness does this internally)::
+
+        journal = RunJournal(path)
+        completed = journal.start(fingerprint, run_id, resume=True)
+        ... skip jobs whose key is in ``completed``; for the rest:
+        journal.record(key, value, wall_s=..., attempt=...)
+        journal.close()
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = str(path)
+        self._handle = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def exists(self) -> bool:
+        return os.path.exists(self._path)
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+        """Read the journal: ``(header, {key: job record})``.
+
+        Returns ``(None, {})`` when the file does not exist.  Tolerates a
+        truncated final line; rejects any other corruption.
+        """
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return None, {}
+        header: Optional[Dict[str, Any]] = None
+        entries: Dict[str, Dict[str, Any]] = {}
+        documents = [(number, line) for number, line in enumerate(lines, 1) if line.strip()]
+        for position, (number, line) in enumerate(documents):
+            try:
+                doc = json.loads(line)
+            except ValueError as exc:
+                if position == len(documents) - 1:
+                    break  # crash mid-write: drop the partial record
+                raise ConfigurationError(
+                    f"journal {self._path}: malformed line {number}: {exc}"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise ConfigurationError(
+                    f"journal {self._path}: line {number} is not an object"
+                )
+            kind = doc.get("kind")
+            if position == 0:
+                if kind != "header":
+                    raise ConfigurationError(
+                        f"journal {self._path}: first line is not a header "
+                        "(not a sweep journal?)"
+                    )
+                if doc.get("version") != JOURNAL_VERSION:
+                    raise ConfigurationError(
+                        f"journal {self._path}: unsupported version "
+                        f"{doc.get('version')!r} (expected {JOURNAL_VERSION})"
+                    )
+                header = doc
+            elif kind == "job":
+                key = doc.get("key")
+                if not isinstance(key, str):
+                    raise ConfigurationError(
+                        f"journal {self._path}: line {number} has no job key"
+                    )
+                entries[key] = doc
+            # Unknown kinds are skipped: forward compatibility with
+            # richer records appended by future versions.
+        return header, entries
+
+    def start(
+        self,
+        fingerprint: Dict[str, Any],
+        run_id: str,
+        resume: bool = False,
+    ) -> Dict[str, Any]:
+        """Open the journal for a run; returns ``{key: value}`` to skip.
+
+        With ``resume=True`` and an existing file, the header fingerprint
+        must match ``fingerprint`` exactly -- resuming a journal recorded
+        for different bins/schemes/seed would corrupt the experiment and
+        raises :class:`ConfigurationError` instead.  A missing file under
+        ``resume=True`` simply starts fresh (first run of a resumable
+        campaign).  With ``resume=False`` any existing file is truncated.
+        """
+        if self._handle is not None:
+            raise ConfigurationError(f"journal {self._path} already started")
+        if resume and self.exists():
+            header, entries = self.load()
+            if header is None:
+                raise ConfigurationError(
+                    f"journal {self._path} has no readable header"
+                )
+            if header.get("fingerprint") != fingerprint:
+                raise ConfigurationError(
+                    f"journal {self._path} was recorded for a different "
+                    "sweep (fingerprint mismatch); refusing to resume"
+                )
+            self._handle = open(self._path, "a", encoding="utf-8")
+            return {key: doc["value"] for key, doc in entries.items()}
+        self._handle = open(self._path, "w", encoding="utf-8")
+        self._write(
+            {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "run_id": run_id,
+                "fingerprint": fingerprint,
+            }
+        )
+        return {}
+
+    def record(
+        self,
+        key: str,
+        value: Any,
+        wall_s: Optional[float] = None,
+        attempt: int = 1,
+    ) -> None:
+        """Append one completed job (``value`` must be JSON-able)."""
+        if self._handle is None:
+            raise ConfigurationError(
+                f"journal {self._path} is not started; call start() first"
+            )
+        self._write(
+            {
+                "kind": "job",
+                "key": key,
+                "value": value,
+                "wall_s": wall_s,
+                "attempt": attempt,
+            }
+        )
+
+    def _write(self, doc: Dict[str, Any]) -> None:
+        json.dump(doc, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

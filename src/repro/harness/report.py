@@ -1,9 +1,18 @@
-"""Plain-text tables mirroring the paper's figures as printable rows."""
+"""Plain-text tables mirroring the paper's figures as printable rows,
+plus the run-health summary of a resilient sweep's event stream."""
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from .events import (
+    JOB_DROP,
+    JOB_FINISH,
+    JOB_RETRY,
+    JOB_SKIP,
+    POOL_RESPAWN,
+    EventLog,
+)
 from .sweep import SweepResult
 
 
@@ -48,7 +57,43 @@ def format_series_table(sweep: SweepResult, title: str = "") -> str:
                 footer_lines.append(
                     f"max reduction {scheme} vs {versus}: {reduction:.1%}"
                 )
+    if sweep.dropped:
+        footer_lines.append(
+            f"dropped task sets (excluded from aggregation, pairing "
+            f"preserved): {len(sweep.dropped)}"
+        )
+        for entry in sweep.dropped:
+            footer_lines.append(
+                f"  {entry.label}: {', '.join(entry.schemes)} -- {entry.reason}"
+            )
     body = f"{title}\n{table}" if title else table
     if footer_lines:
         body += "\n" + "\n".join(footer_lines)
     return body
+
+
+def format_event_summary(log: EventLog) -> str:
+    """Run-health summary of a sweep's event stream.
+
+    One row per resilience metric: finished / skipped (journal resume) /
+    retried / dropped job counts, pool respawns, and wall-time stats of
+    the finished jobs.
+    """
+    counts = log.counts()
+    walls = log.job_wall_seconds()
+    rows = [
+        ["run id", log.run_id],
+        ["jobs finished", str(counts.get(JOB_FINISH, 0))],
+        ["jobs skipped (journal)", str(counts.get(JOB_SKIP, 0))],
+        ["job retries", str(counts.get(JOB_RETRY, 0))],
+        ["jobs dropped", str(counts.get(JOB_DROP, 0))],
+        ["pool respawns", str(counts.get(POOL_RESPAWN, 0))],
+    ]
+    if walls:
+        rows.append(
+            [
+                "job wall time (mean/max s)",
+                f"{sum(walls) / len(walls):.3f}/{max(walls):.3f}",
+            ]
+        )
+    return format_table(["metric", "value"], rows)

@@ -15,6 +15,7 @@ from ..analysis.cache import analysis_cache
 from ..analysis.hyperperiod import analysis_horizon
 from ..energy.accounting import EnergyReport, energy_of
 from ..energy.power import PowerModel
+from ..errors import UnknownSchemeError
 from ..faults.scenario import FaultScenario
 from ..model.taskset import TaskSet
 from ..qos.metrics import QoSMetrics, collect_metrics
@@ -85,7 +86,7 @@ def run_scheme(
     try:
         factory = SCHEME_FACTORIES[scheme]
     except KeyError as exc:
-        raise KeyError(
+        raise UnknownSchemeError(
             f"unknown scheme {scheme!r}; known: {sorted(SCHEME_FACTORIES)}"
         ) from exc
     base = taskset.timebase()

@@ -11,11 +11,15 @@ import json
 from typing import Any, Dict, List, Tuple
 
 from ..errors import ConfigurationError
-from .sweep import BinResult, SweepResult
+from .sweep import BinResult, DroppedSet, SweepResult
 
 
 def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
-    """A JSON-serializable representation of a sweep result."""
+    """A JSON-serializable representation of a sweep result.
+
+    Deliberately excludes the ``run_id``: a resumed sweep must serialize
+    to exactly the JSON its uninterrupted twin would have produced.
+    """
     return {
         "schemes": list(sweep.schemes),
         "reference_scheme": sweep.reference_scheme,
@@ -32,6 +36,15 @@ def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
                 },
             }
             for bucket in sweep.bins
+        ],
+        "dropped": [
+            {
+                "range": list(entry.bin_range),
+                "index": entry.index,
+                "schemes": list(entry.schemes),
+                "reason": entry.reason,
+            }
+            for entry in sweep.dropped
         ],
     }
 
@@ -57,6 +70,15 @@ def sweep_from_dict(payload: Dict[str, Any]) -> SweepResult:
                             "energy_ci95", {}
                         ).items()
                     },
+                )
+            )
+        for entry in payload.get("dropped", []):
+            sweep.dropped.append(
+                DroppedSet(
+                    bin_range=tuple(entry["range"]),
+                    index=int(entry["index"]),
+                    schemes=tuple(entry["schemes"]),
+                    reason=str(entry["reason"]),
                 )
             )
     except (KeyError, TypeError, ValueError) as exc:

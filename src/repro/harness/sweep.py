@@ -8,36 +8,89 @@ same task sets and the same per-set fault draws are reused across schemes
 so comparisons are paired.
 
 Parallel execution (``workers > 1``) uses one persistent process pool for
-the whole sweep -- not one pool per bin -- with chunked submission, so
-worker startup is paid once and every worker's analysis cache stays warm
-across the bins.  When the sweep generated its own workload, workers
-receive compact ``(generation spec, bin, index, scheme)`` descriptors and
-regenerate the task sets locally (the generator is deterministic in its
-seed) instead of unpickling every TaskSet; explicitly supplied task sets
-are shipped pickled.  The ``workers=1`` path runs the same jobs inline and
-is exactly the sequential protocol.
+the whole sweep -- not one pool per bin -- so worker startup is paid once
+and every worker's analysis cache stays warm across the bins.  When the
+sweep generated its own workload, workers receive compact ``(generation
+spec, bin, index, scheme)`` descriptors and regenerate the task sets
+locally (the generator is deterministic in its seed) instead of
+unpickling every TaskSet; explicitly supplied task sets are shipped
+pickled.  The ``workers=1`` path runs the same jobs inline and is exactly
+the sequential protocol.
+
+Resilience (this module's execution layer, :func:`execute_jobs`):
+
+* jobs are submitted **per future**, not via an all-or-nothing
+  ``pool.map``, so one worker crash or hang cannot discard completed
+  results;
+* each job carries a configurable wall-clock timeout and a bounded retry
+  budget with backoff; a ``BrokenProcessPool`` respawns the pool and
+  resubmits the unfinished jobs;
+* a job that exhausts its retries is **dropped as a pair**: the whole
+  (task set, every scheme) group leaves the aggregation -- preserving the
+  paper's paired-comparison protocol -- and is surfaced in
+  :attr:`SweepResult.dropped` instead of aborting the sweep;
+* an optional :class:`~repro.harness.journal.RunJournal` checkpoints each
+  finished job, so an interrupted sweep resumes from completed work with
+  bitwise-identical results;
+* a :class:`~repro.harness.events.EventLog` records job lifecycle, pool
+  respawns, wall times, and progress under one run id.
+
+Resume assumes the same ``scenario_factory`` is supplied again: fault
+draws are built in the parent, deterministically by global set index, and
+are not captured in the journal fingerprint.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
 from ..model.taskset import TaskSet
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
-from .runner import PAPER_SCHEMES, run_scheme
+from .events import (
+    JOB_DROP,
+    JOB_FINISH,
+    JOB_RETRY,
+    JOB_SKIP,
+    JOB_START,
+    POOL_RESPAWN,
+    RUN_FINISH,
+    RUN_START,
+    EventLog,
+)
+from .journal import RunJournal
+from .runner import PAPER_SCHEMES, SCHEME_FACTORIES, run_scheme
 from .stats import confidence_interval95, mean
 
 ScenarioFactory = Callable[[int], FaultScenario]
 """Builds the fault scenario for the task set with the given global index
 (so every scheme sees the identical fault draw on the same set)."""
 
+#: Job outcome tags returned by :func:`execute_jobs`.
+OK = "ok"
+DROPPED = "dropped"
+
 
 def _freeze(value):
-    """Recursively convert sequences to tuples for use in hash keys."""
+    """Recursively convert containers to hashable tuples for hash keys.
+
+    Dicts become sorted ``(key, value)`` tuples and sets become sorted
+    tuples, so a dict- or set-valued :class:`GeneratorConfig` field still
+    yields a hashable :func:`_config_key` (worker-side regeneration memos
+    index on it).
+    """
+    if isinstance(value, dict):
+        return tuple(
+            (key, _freeze(item)) for key, item in sorted(value.items())
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(item) for item in value))
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(item) for item in value)
     return value
@@ -51,6 +104,12 @@ def _config_key(config: Optional[GeneratorConfig]) -> Optional[tuple]:
         (f.name, _freeze(getattr(config, f.name)))
         for f in dataclasses.fields(config)
     )
+
+
+def _taskset_digest(taskset: TaskSet) -> str:
+    """Short stable digest of a task set's analysis-relevant identity."""
+    blob = repr(taskset.fingerprint()).encode("utf-8")
+    return hashlib.sha1(blob).hexdigest()[:16]
 
 
 #: Per-worker-process workload memo, keyed by the generation spec.  A
@@ -76,6 +135,24 @@ def _regenerated_tasksets(
     return cached
 
 
+#: Test-only fault injection: when this environment variable names an
+#: existing file, the first worker to claim it (by unlinking it) dies
+#: with ``os._exit``, simulating a SIGKILL/OOM mid-sweep.  Used by the
+#: resilience tests and the CI worker-kill job; inert in normal runs.
+_CRASH_FILE_ENV = "REPRO_SWEEP_CRASH_FILE"
+
+
+def _maybe_crash_for_tests() -> None:
+    path = os.environ.get(_CRASH_FILE_ENV)
+    if not path:
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        return
+    os._exit(17)
+
+
 def _run_one(job: tuple) -> Tuple[float, int]:
     """Module-level worker so ProcessPoolExecutor can pickle it.
 
@@ -89,6 +166,7 @@ def _run_one(job: tuple) -> Tuple[float, int]:
       within a deterministic generation, regenerated worker-side via
       :data:`_WORKER_TASKSETS`.
     """
+    _maybe_crash_for_tests()
     kind = job[0]
     if kind == "set":
         _, taskset, scheme, scenario, horizon_cap_units = job
@@ -116,6 +194,287 @@ def _run_one(job: tuple) -> Tuple[float, int]:
     return outcome.total_energy, outcome.metrics.mk_violations
 
 
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-isolation knobs for :func:`execute_jobs`.
+
+    Attributes:
+        job_timeout: per-job wall-clock budget in seconds, measured from
+            submission; ``None`` waits forever.  A timeout tears the pool
+            down (a stuck worker cannot be cancelled any other way),
+            charges the timed-out job one attempt, and resubmits the rest
+            uncharged.  Ignored on the inline ``workers=1`` path.
+        max_retries: failed attempts a job may accumulate beyond its
+            first try before it is dropped.
+        retry_backoff: seconds slept before retrying a job that raised,
+            scaled by its attempt count (0 = retry immediately).
+    """
+
+    job_timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.job_timeout is not None and not self.job_timeout > 0:
+            raise ConfigurationError(
+                f"job_timeout must be positive or None, got {self.job_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+
+
+def _describe_error(exc: BaseException) -> str:
+    text = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
+def _kill_pool(pool) -> None:
+    """Forcefully tear down an executor whose workers may be stuck.
+
+    ``shutdown`` alone joins the workers, which never returns if one is
+    hung; killing the processes first (private attribute, guarded) makes
+    teardown prompt and lets a fresh pool take over.
+    """
+    processes = getattr(pool, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def execute_jobs(
+    jobs: Sequence[Any],
+    *,
+    worker: Optional[Callable[[Any], Any]] = None,
+    keys: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    completed: Optional[Dict[str, Any]] = None,
+    events: Optional[EventLog] = None,
+) -> List[Tuple[str, Any]]:
+    """Run independent jobs with fault isolation, retries, checkpointing.
+
+    The resilient core of the sweep harness, usable with any picklable
+    ``worker``.  Returns one ``(tag, payload)`` per job, aligned with
+    ``jobs``: ``("ok", value)`` for a finished job, ``("dropped",
+    reason)`` for a job that exhausted its retry budget.  The call never
+    raises for worker-side failures -- crashes, hangs, and exceptions all
+    degrade to drops after bounded retries.
+
+    Args:
+        jobs: picklable job descriptors.
+        worker: callable mapping one descriptor to a result (default:
+            the sweep worker :func:`_run_one`).
+        keys: deterministic per-job identities for journaling; generated
+            positionally when omitted.
+        workers: process count; 1 runs inline (same retry/drop policy,
+            no timeout enforcement).
+        policy: timeout/retry knobs (default :class:`ExecutionPolicy`).
+        journal: started journal to append finished jobs to.
+        completed: ``{key: value}`` of jobs already done (from a journal
+            resume); matching jobs are skipped and reported as ok.
+        events: event log to emit into (a throwaway one when omitted).
+
+    Failure semantics in the pool path: an exception raised *by the job*
+    charges that job an attempt and retries after backoff; a pool break
+    charges every submitted-but-unfinished job (the culprit is unknowable
+    once the pool dies) and respawns; a timeout charges only the
+    timed-out job, then tears down and respawns the pool because a
+    running future cannot be cancelled.
+    """
+    worker = worker or _run_one
+    policy = policy or ExecutionPolicy()
+    log = events if events is not None else EventLog()
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    total = len(jobs)
+    if keys is None:
+        key_list = [f"job{index}" for index in range(total)]
+    else:
+        key_list = [str(key) for key in keys]
+        if len(key_list) != total:
+            raise ConfigurationError(
+                f"{len(key_list)} keys for {total} jobs"
+            )
+        if len(set(key_list)) != total:
+            raise ConfigurationError("job keys must be unique")
+
+    results: List[Optional[Tuple[str, Any]]] = [None] * total
+    attempts = [0] * total
+    done = 0
+
+    def finish(index: int, value: Any, wall_s: float) -> None:
+        nonlocal done
+        results[index] = (OK, value)
+        done += 1
+        if journal is not None:
+            journal.record(
+                key_list[index],
+                value,
+                wall_s=round(wall_s, 6),
+                attempt=attempts[index] + 1,
+            )
+        log.emit(
+            JOB_FINISH,
+            job=key_list[index],
+            attempt=attempts[index] + 1,
+            wall_s=round(wall_s, 6),
+            progress=f"{done}/{total}",
+        )
+
+    def drop(index: int, reason: str) -> None:
+        nonlocal done
+        results[index] = (DROPPED, reason)
+        done += 1
+        log.emit(
+            JOB_DROP,
+            job=key_list[index],
+            attempt=attempts[index],
+            reason=reason,
+            progress=f"{done}/{total}",
+        )
+
+    def fail(index: int, reason: str, survivors: List[int], backoff: bool) -> None:
+        """Charge one attempt; retry (into ``survivors``) or drop."""
+        attempts[index] += 1
+        if attempts[index] > policy.max_retries:
+            drop(index, reason)
+            return
+        log.emit(
+            JOB_RETRY,
+            job=key_list[index],
+            attempt=attempts[index],
+            reason=reason,
+        )
+        if backoff and policy.retry_backoff:
+            time.sleep(policy.retry_backoff * attempts[index])
+        survivors.append(index)
+
+    if completed:
+        for index, key in enumerate(key_list):
+            if key in completed:
+                results[index] = (OK, completed[key])
+                done += 1
+                log.emit(JOB_SKIP, job=key, progress=f"{done}/{total}")
+    pending = [index for index in range(total) if results[index] is None]
+
+    if workers == 1:
+        while pending:
+            survivors: List[int] = []
+            for index in pending:
+                log.emit(
+                    JOB_START,
+                    job=key_list[index],
+                    attempt=attempts[index] + 1,
+                    queue_depth=total - done,
+                )
+                started = time.monotonic()
+                try:
+                    value = worker(jobs[index])
+                except Exception as exc:
+                    fail(index, _describe_error(exc), survivors, backoff=True)
+                else:
+                    finish(index, value, time.monotonic() - started)
+            pending = survivors
+        return [
+            outcome if outcome is not None else (DROPPED, "not executed")
+            for outcome in results
+        ]
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool = None
+    try:
+        while pending:
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {}
+            submitted_at = {}
+            for index in pending:
+                futures[index] = pool.submit(worker, jobs[index])
+                submitted_at[index] = time.monotonic()
+                log.emit(
+                    JOB_START,
+                    job=key_list[index],
+                    attempt=attempts[index] + 1,
+                    queue_depth=total - done,
+                )
+            survivors = []
+            pool_dead = False
+            for index in pending:
+                future = futures[index]
+                if pool_dead:
+                    # The pool is being torn down: harvest whatever
+                    # already finished, resubmit the rest uncharged
+                    # (broken futures are charged -- see below).
+                    if not future.done():
+                        future.cancel()
+                        survivors.append(index)
+                        continue
+                    try:
+                        value = future.result(timeout=0)
+                    except BrokenProcessPool:
+                        fail(
+                            index,
+                            "worker process died (pool broken)",
+                            survivors,
+                            backoff=False,
+                        )
+                    except Exception as exc:
+                        fail(index, _describe_error(exc), survivors, backoff=False)
+                    else:
+                        finish(
+                            index, value, time.monotonic() - submitted_at[index]
+                        )
+                    continue
+                try:
+                    value = future.result(timeout=policy.job_timeout)
+                except FutureTimeoutError:
+                    pool_dead = True
+                    fail(
+                        index,
+                        f"timed out after {policy.job_timeout:g}s",
+                        survivors,
+                        backoff=False,
+                    )
+                except BrokenProcessPool:
+                    pool_dead = True
+                    fail(
+                        index,
+                        "worker process died (pool broken)",
+                        survivors,
+                        backoff=False,
+                    )
+                except Exception as exc:
+                    fail(index, _describe_error(exc), survivors, backoff=True)
+                else:
+                    finish(index, value, time.monotonic() - submitted_at[index])
+            if pool_dead:
+                _kill_pool(pool)
+                pool = None
+                log.emit(POOL_RESPAWN, pending=len(survivors))
+            pending = survivors
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return [
+        outcome if outcome is not None else (DROPPED, "not executed")
+        for outcome in results
+    ]
+
+
 @dataclass
 class BinResult:
     """Aggregated results for one (m,k)-utilization bin."""
@@ -132,6 +491,25 @@ class BinResult:
         return f"[{self.bin_range[0]:g},{self.bin_range[1]:g})"
 
 
+@dataclass(frozen=True)
+class DroppedSet:
+    """One (task set, all schemes) pair excluded from aggregation.
+
+    Dropping the whole pair -- not just the failing scheme's run --
+    preserves the paired-comparison protocol: every aggregated task set
+    contributes one result to *every* scheme.
+    """
+
+    bin_range: Tuple[float, float]
+    index: int
+    schemes: Tuple[str, ...]
+    reason: str
+
+    @property
+    def label(self) -> str:
+        return f"[{self.bin_range[0]:g},{self.bin_range[1]:g}) set {self.index}"
+
+
 @dataclass
 class SweepResult:
     """Results of a full utilization sweep."""
@@ -139,24 +517,65 @@ class SweepResult:
     schemes: Sequence[str]
     reference_scheme: str
     bins: List[BinResult] = field(default_factory=list)
+    dropped: List[DroppedSet] = field(default_factory=list)
+    run_id: Optional[str] = None
 
     def series(self, scheme: str) -> List[Tuple[str, float]]:
         """(bin label, normalized energy) pairs for one scheme."""
         return [(b.label, b.normalized_energy[scheme]) for b in self.bins]
 
     def max_reduction(self, scheme: str, versus: str) -> float:
-        """Largest relative energy reduction of ``scheme`` vs ``versus``.
+        """Largest *signed* relative energy reduction of ``scheme`` vs
+        ``versus`` across bins.
 
-        Paper-style headline: 0.28 means 'up to 28% lower energy'.
+        Paper-style headline: 0.28 means 'up to 28% lower energy'.  A
+        negative value means the scheme never beat the baseline in any
+        bin -- a regression this method deliberately does not clamp to
+        zero, so it stays visible.  Returns 0.0 only when no bin has a
+        positive baseline to compare against.
         """
-        best = 0.0
+        best: Optional[float] = None
         for bucket in self.bins:
             baseline = bucket.mean_energy[versus]
             if baseline <= 0:
                 continue
             reduction = 1.0 - bucket.mean_energy[scheme] / baseline
-            best = max(best, reduction)
-        return best
+            if best is None or reduction > best:
+                best = reduction
+        return 0.0 if best is None else best
+
+
+def _sweep_fingerprint(
+    bins: Sequence[Tuple[float, float]],
+    schemes: Sequence[str],
+    sets_per_bin: int,
+    reference_scheme: str,
+    generator_config: Optional[GeneratorConfig],
+    seed: Optional[int],
+    horizon_cap_units: int,
+    supplied_tasksets: Optional[Dict[Tuple[float, float], List[TaskSet]]],
+) -> Dict[str, Any]:
+    """JSON-able identity of a sweep, for journal header validation."""
+    if supplied_tasksets is None:
+        workload: Any = "generated"
+    else:
+        workload = {
+            f"{key[0]:g}-{key[1]:g}": [
+                _taskset_digest(taskset) for taskset in tasksets
+            ]
+            for key, tasksets in sorted(supplied_tasksets.items())
+        }
+    return {
+        "kind": "utilization_sweep",
+        "bins": [[float(lo), float(hi)] for lo, hi in bins],
+        "schemes": list(schemes),
+        "reference_scheme": reference_scheme,
+        "sets_per_bin": int(sets_per_bin),
+        "seed": seed,
+        "horizon_cap_units": int(horizon_cap_units),
+        "generator_config": repr(_config_key(generator_config)),
+        "workload": workload,
+    }
 
 
 def utilization_sweep(
@@ -170,6 +589,12 @@ def utilization_sweep(
     horizon_cap_units: int = 2000,
     tasksets_by_bin: Optional[Dict[Tuple[float, float], List[TaskSet]]] = None,
     workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    job_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.0,
+    events: Optional[EventLog] = None,
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -189,14 +614,49 @@ def utilization_sweep(
             persistent process pool spanning every bin; results are
             identical to the sequential run (each run is deterministic
             given its scenario).
+        journal_path: JSONL checkpoint file; every finished job is
+            appended so a crashed or interrupted sweep can resume.
+        resume: load completed jobs from ``journal_path`` (validated
+            against this sweep's fingerprint) and run only the rest.
+        job_timeout: per-job wall-clock budget in seconds (parallel runs
+            only); a job over budget is retried, then dropped as a pair.
+        max_retries: retry budget per job before its pair is dropped.
+        retry_backoff: base backoff in seconds between retries of a job
+            that raised.
+        events: :class:`EventLog` receiving the run's structured events
+            (job lifecycle, respawns, progress); omitted = internal log.
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
             f"reference scheme {reference_scheme!r} must be in {schemes}"
         )
+    unknown = sorted(set(schemes) - set(SCHEME_FACTORIES))
+    if unknown:
+        raise UnknownSchemeError(
+            f"unknown scheme(s) {unknown}; known: {sorted(SCHEME_FACTORIES)}"
+        )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if resume and not journal_path:
+        raise ConfigurationError("resume=True requires journal_path")
+    policy = ExecutionPolicy(
+        job_timeout=job_timeout,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+    )
+
+    supplied = tasksets_by_bin is not None
     generated_spec: Optional[tuple] = None
+    fingerprint = _sweep_fingerprint(
+        bins,
+        schemes,
+        sets_per_bin,
+        reference_scheme,
+        generator_config,
+        seed,
+        horizon_cap_units,
+        tasksets_by_bin,
+    )
     if tasksets_by_bin is None:
         generated_spec = (
             tuple(tuple(b) for b in bins),
@@ -213,7 +673,9 @@ def utilization_sweep(
     ship_spec = workers > 1 and generated_spec is not None
 
     jobs: List[tuple] = []
-    meta: List[Tuple[Tuple[float, float], str]] = []
+    # meta rows: (bin key, scheme, global set counter, index within bin).
+    meta: List[Tuple[Tuple[float, float], str, int, int]] = []
+    job_keys: List[str] = []
     populated: List[Tuple[Tuple[float, float], int]] = []
     set_counter = 0
     for bin_range in bins:
@@ -226,9 +688,22 @@ def utilization_sweep(
             scenario = (
                 scenario_factory(set_counter) if scenario_factory else None
             )
+            counter = set_counter
             set_counter += 1
             for scheme in schemes:
-                meta.append((key, scheme))
+                meta.append((key, scheme, counter, index))
+                # Journal keys are worker-count independent (a sweep
+                # journaled sequentially resumes in parallel and vice
+                # versa): position for generated workloads, digest for
+                # supplied ones.
+                if supplied:
+                    job_keys.append(
+                        f"set{counter}|{_taskset_digest(taskset)}|{scheme}"
+                    )
+                else:
+                    job_keys.append(
+                        f"u{key[0]:g}-{key[1]:g}|set{index}|{scheme}"
+                    )
                 if ship_spec:
                     jobs.append(
                         ("gen", *generated_spec, key, index, scheme, scenario,
@@ -239,14 +714,41 @@ def utilization_sweep(
                         ("set", taskset, scheme, scenario, horizon_cap_units)
                     )
 
-    if workers > 1 and jobs:
-        from concurrent.futures import ProcessPoolExecutor
+    log = events if events is not None else EventLog()
+    log.emit(
+        RUN_START,
+        jobs=len(jobs),
+        workers=workers,
+        resume=bool(resume),
+        journal=journal_path or None,
+    )
+    journal: Optional[RunJournal] = None
+    completed: Dict[str, Any] = {}
+    if journal_path:
+        journal = RunJournal(journal_path)
+        completed = journal.start(fingerprint, log.run_id, resume=resume)
+    try:
+        results = execute_jobs(
+            jobs,
+            keys=job_keys,
+            workers=workers,
+            policy=policy,
+            journal=journal,
+            completed=completed,
+            events=log,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
 
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_one, jobs, chunksize=chunksize))
-    else:
-        results = [_run_one(job) for job in jobs]
+    # A dropped job voids its whole (task set, schemes) pair so every
+    # aggregated set still contributes to every scheme.
+    failures: Dict[int, List[Tuple[str, str]]] = {}
+    set_info: Dict[int, Tuple[Tuple[float, float], int]] = {}
+    for (key, scheme, counter, index), outcome in zip(meta, results):
+        set_info.setdefault(counter, (key, index))
+        if outcome[0] != OK:
+            failures.setdefault(counter, []).append((scheme, outcome[1]))
 
     totals: Dict[Tuple[float, float], Dict[str, List[float]]] = {
         key: {scheme: [] for scheme in schemes} for key, _ in populated
@@ -254,12 +756,33 @@ def utilization_sweep(
     violations: Dict[Tuple[float, float], Dict[str, int]] = {
         key: {scheme: 0 for scheme in schemes} for key, _ in populated
     }
-    for (key, scheme), (energy, job_violations) in zip(meta, results):
+    for (key, scheme, counter, index), outcome in zip(meta, results):
+        if counter in failures or outcome[0] != OK:
+            continue
+        energy, job_violations = outcome[1]
         totals[key][scheme].append(energy)
         violations[key][scheme] += job_violations
 
-    sweep = SweepResult(schemes=tuple(schemes), reference_scheme=reference_scheme)
-    for key, count in populated:
+    sweep = SweepResult(
+        schemes=tuple(schemes),
+        reference_scheme=reference_scheme,
+        run_id=log.run_id,
+    )
+    for counter in sorted(failures):
+        key, index = set_info[counter]
+        failed = failures[counter]
+        sweep.dropped.append(
+            DroppedSet(
+                bin_range=key,
+                index=index,
+                schemes=tuple(scheme for scheme, _ in failed),
+                reason="; ".join(sorted({reason for _, reason in failed})),
+            )
+        )
+    for key, _count in populated:
+        aggregated = len(totals[key][reference_scheme])
+        if aggregated == 0:
+            continue  # every set in the bin was dropped
         mean_energy = {
             scheme: mean(values) for scheme, values in totals[key].items()
         }
@@ -275,11 +798,16 @@ def utilization_sweep(
         sweep.bins.append(
             BinResult(
                 bin_range=key,
-                taskset_count=count,
+                taskset_count=aggregated,
                 mean_energy=mean_energy,
                 normalized_energy=normalized,
                 mk_violation_count=violations[key],
                 energy_ci95=intervals,
             )
         )
+    log.emit(
+        RUN_FINISH,
+        completed=sum(1 for outcome in results if outcome[0] == OK),
+        dropped=len(sweep.dropped),
+    )
     return sweep

@@ -108,6 +108,55 @@ class TestCommands:
         assert "[0.4,0.5)" in out
         assert "legend:" in out
 
+    def test_sweep_with_journal_and_events(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        events = tmp_path / "events.jsonl"
+        args = [
+            "sweep",
+            "--bins",
+            "0.4:0.5",
+            "--sets-per-bin",
+            "1",
+            "--horizon",
+            "300",
+            "--journal",
+            str(journal),
+            "--events",
+            str(events),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "jobs finished" in out  # resilience summary printed
+        assert "run id" in out
+        assert journal.exists() and events.exists()
+        # resume consumes the journal: every job is skipped, same table
+        assert main(args + ["--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "[0.4,0.5)" in resumed_out
+        skipped = [
+            line
+            for line in resumed_out.splitlines()
+            if "jobs skipped (journal)" in line
+        ]
+        assert skipped and "3" in skipped[0]
+
+    def test_sweep_resume_mismatched_journal_errors(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        base = [
+            "sweep",
+            "--sets-per-bin",
+            "1",
+            "--horizon",
+            "300",
+            "--journal",
+            str(journal),
+        ]
+        assert main(base + ["--bins", "0.4:0.5"]) == 0
+        capsys.readouterr()
+        code = main(base + ["--bins", "0.5:0.6", "--resume"])
+        assert code == 2
+        assert "different sweep" in capsys.readouterr().err
+
 
 class TestParseBins:
     def test_valid(self):

@@ -30,6 +30,28 @@ class TestShutdownDecision:
         model = PowerModel.active_only()
         assert shutdown_decision(Fraction(1, 100), model)
 
+    def test_zero_power_with_transition_cost_never_sleeps(self):
+        # Regression: with idle == sleep == 0 but a positive transition
+        # energy, sleeping is a strict net loss; the zero-power tie-break
+        # must not force a shutdown.
+        model = PowerModel(
+            idle_power=0.0,
+            sleep_power=0.0,
+            transition_energy=5.0,
+            break_even=Fraction(1),
+        )
+        assert not shutdown_decision(Fraction(2), model)
+        assert not shutdown_decision(Fraction(10**6), model)
+
+    def test_zero_power_free_transition_still_sleeps(self):
+        model = PowerModel(
+            idle_power=0.0,
+            sleep_power=0.0,
+            transition_energy=0.0,
+            break_even=Fraction(1),
+        )
+        assert shutdown_decision(Fraction(2), model)
+
 
 class TestDPDController:
     def test_tracks_shutdowns_and_idles(self):

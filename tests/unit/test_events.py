@@ -1,0 +1,81 @@
+"""Unit tests for the sweep observability layer (harness.events)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.events import (
+    JOB_DROP,
+    JOB_FINISH,
+    JOB_RETRY,
+    RUN_START,
+    EventLog,
+    SweepEvent,
+)
+
+
+class TestEventLog:
+    def test_emit_stamps_run_id_and_sequence(self):
+        log = EventLog(run_id="abc123")
+        first = log.emit(RUN_START, jobs=4)
+        second = log.emit(JOB_FINISH, job="j0")
+        assert first.run_id == second.run_id == "abc123"
+        assert (first.seq, second.seq) == (0, 1)
+        assert log.events == [first, second]
+
+    def test_random_run_id_assigned(self):
+        assert EventLog().run_id != EventLog().run_id
+
+    def test_clock_is_injectable(self):
+        ticks = iter([10.0, 11.5])
+        log = EventLog(clock=lambda: next(ticks))
+        assert log.emit(RUN_START).timestamp == 10.0
+        assert log.emit(JOB_FINISH).timestamp == 11.5
+
+    def test_sink_receives_each_event(self):
+        seen = []
+        log = EventLog(sink=seen.append)
+        event = log.emit(JOB_RETRY, job="j3", reason="boom")
+        assert seen == [event]
+        assert seen[0].data == {"job": "j3", "reason": "boom"}
+
+    def test_counts_and_of_kind(self):
+        log = EventLog()
+        log.emit(JOB_FINISH, job="a", wall_s=0.5)
+        log.emit(JOB_FINISH, job="b", wall_s=1.5)
+        log.emit(JOB_DROP, job="c", reason="timeout")
+        assert log.counts() == {JOB_FINISH: 2, JOB_DROP: 1}
+        assert [e.data["job"] for e in log.of_kind(JOB_FINISH)] == ["a", "b"]
+
+    def test_job_wall_seconds(self):
+        log = EventLog()
+        log.emit(JOB_FINISH, job="a", wall_s=0.5)
+        log.emit(JOB_FINISH, job="b")  # no wall time recorded
+        log.emit(JOB_FINISH, job="c", wall_s=2.0)
+        assert log.job_wall_seconds() == [0.5, 2.0]
+
+    def test_write_jsonl_round_trip(self, tmp_path):
+        log = EventLog(run_id="run42", clock=lambda: 99.0)
+        log.emit(RUN_START, jobs=2)
+        log.emit(JOB_FINISH, job="j1", wall_s=0.25)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(str(path))
+        docs = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert len(docs) == 2
+        assert docs[0]["kind"] == RUN_START
+        assert docs[0]["run_id"] == "run42"
+        assert docs[1]["data"] == {"job": "j1", "wall_s": 0.25}
+        assert [doc["seq"] for doc in docs] == [0, 1]
+
+    def test_event_to_dict_is_json_safe(self):
+        event = SweepEvent(
+            run_id="r", seq=0, kind=JOB_DROP, timestamp=1.0,
+            data={"reason": "x"},
+        )
+        assert json.loads(json.dumps(event.to_dict()))["data"] == {
+            "reason": "x"
+        }

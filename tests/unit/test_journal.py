@@ -1,0 +1,169 @@
+"""Unit tests for the run journal (harness.journal)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.journal import JOURNAL_VERSION, RunJournal
+
+FP = {"kind": "utilization_sweep", "seed": 7, "bins": [[0.3, 0.4]]}
+
+
+def started(path, resume=False, fingerprint=None):
+    journal = RunJournal(str(path))
+    completed = journal.start(fingerprint or FP, run_id="r1", resume=resume)
+    return journal, completed
+
+
+class TestFreshStart:
+    def test_header_written_first(self, tmp_path):
+        journal, completed = started(tmp_path / "j.jsonl")
+        journal.close()
+        assert completed == {}
+        header = json.loads((tmp_path / "j.jsonl").read_text().splitlines()[0])
+        assert header["kind"] == "header"
+        assert header["version"] == JOURNAL_VERSION
+        assert header["fingerprint"] == FP
+
+    def test_records_appended_and_flushed(self, tmp_path):
+        journal, _ = started(tmp_path / "j.jsonl")
+        journal.record("job-a", [10.0, 0], wall_s=0.5, attempt=1)
+        # flushed before close: a crashed parent keeps completed work
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        journal.close()
+        doc = json.loads(lines[1])
+        assert doc == {
+            "kind": "job",
+            "key": "job-a",
+            "value": [10.0, 0],
+            "wall_s": 0.5,
+            "attempt": 1,
+        }
+
+    def test_fresh_start_truncates_existing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("old", 1)
+        journal.close()
+        journal, completed = started(path, resume=False)
+        journal.close()
+        assert completed == {}
+        _, entries = RunJournal(str(path)).load()
+        assert entries == {}
+
+    def test_record_before_start_rejected(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(ConfigurationError):
+            journal.record("k", 1)
+
+
+class TestResume:
+    def test_completed_jobs_returned(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", [1.5, 0])
+        journal.record("b", [2.5, 1])
+        journal.close()
+        journal, completed = started(path, resume=True)
+        journal.close()
+        assert completed == {"a": [1.5, 0], "b": [2.5, 1]}
+
+    def test_resume_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.close()
+        journal, _ = started(path, resume=True)
+        journal.record("b", 2)
+        journal.close()
+        _, entries = RunJournal(str(path)).load()
+        assert set(entries) == {"a", "b"}
+
+    def test_missing_file_resume_starts_fresh(self, tmp_path):
+        journal, completed = started(tmp_path / "new.jsonl", resume=True)
+        journal.close()
+        assert completed == {}
+        assert (tmp_path / "new.jsonl").exists()
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.close()
+        other = dict(FP, seed=8)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            started(path, resume=True, fingerprint=other)
+
+    def test_duplicate_keys_last_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.record("a", 2)
+        journal.close()
+        _, completed = started(path, resume=True)
+        assert completed == {"a": 2}
+
+
+class TestRobustness:
+    def test_truncated_final_line_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "job", "key": "b", "val')  # crash mid-write
+        journal, completed = started(path, resume=True)
+        journal.close()
+        assert completed == {"a": 1}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"kind": "job", "key": "b", "value": 1}\n')
+        with pytest.raises(ConfigurationError, match="malformed line"):
+            RunJournal(str(path)).load()
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "job", "key": "a", "value": 1}\n')
+        with pytest.raises(ConfigurationError, match="header"):
+            RunJournal(str(path)).load()
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "header", "version": 99}\n')
+        with pytest.raises(ConfigurationError, match="version"):
+            RunJournal(str(path)).load()
+
+    def test_unknown_kinds_skipped_for_forward_compat(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "annotation", "note": "hi"}\n')
+        _, completed = started(path, resume=True)
+        assert completed == {"a": 1}
+
+    def test_load_missing_file(self, tmp_path):
+        header, entries = RunJournal(str(tmp_path / "absent.jsonl")).load()
+        assert header is None and entries == {}
+
+    def test_double_start_rejected(self, tmp_path):
+        journal, _ = started(tmp_path / "j.jsonl")
+        with pytest.raises(ConfigurationError):
+            journal.start(FP, run_id="r2")
+        journal.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        with RunJournal(str(tmp_path / "j.jsonl")) as journal:
+            journal.start(FP, run_id="r1")
+            journal.record("a", 1)
+        _, entries = RunJournal(str(tmp_path / "j.jsonl")).load()
+        assert set(entries) == {"a"}

@@ -5,9 +5,21 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.harness.report import format_series_table, format_table
+from repro.harness.events import (
+    JOB_DROP,
+    JOB_FINISH,
+    JOB_RETRY,
+    JOB_SKIP,
+    POOL_RESPAWN,
+    EventLog,
+)
+from repro.harness.report import (
+    format_event_summary,
+    format_series_table,
+    format_table,
+)
 from repro.harness.stats import confidence_interval95, mean, sample_std
-from repro.harness.sweep import BinResult, SweepResult
+from repro.harness.sweep import BinResult, DroppedSet, SweepResult
 
 
 class TestFormatTable:
@@ -47,6 +59,53 @@ class TestFormatSeriesTable:
     def test_max_reduction_footer(self):
         text = format_series_table(self.make_sweep())
         assert "max reduction MKSS_DP vs MKSS_ST: 40.0%" in text
+
+    def test_dropped_sets_surface_in_footer(self):
+        sweep = self.make_sweep()
+        sweep.dropped.append(
+            DroppedSet(
+                bin_range=(0.1, 0.2),
+                index=7,
+                schemes=("MKSS_DP",),
+                reason="timed out after 30s",
+            )
+        )
+        text = format_series_table(sweep)
+        assert "dropped task sets" in text
+        assert "[0.1,0.2) set 7: MKSS_DP -- timed out after 30s" in text
+
+    def test_no_drop_footer_when_nothing_dropped(self):
+        assert "dropped" not in format_series_table(self.make_sweep())
+
+
+class TestFormatEventSummary:
+    def test_counts_and_wall_stats(self):
+        log = EventLog(run_id="runX")
+        log.emit(JOB_FINISH, job="a", wall_s=1.0)
+        log.emit(JOB_FINISH, job="b", wall_s=3.0)
+        log.emit(JOB_SKIP, job="c")
+        log.emit(JOB_RETRY, job="d", reason="boom")
+        log.emit(JOB_DROP, job="d", reason="boom")
+        log.emit(POOL_RESPAWN, pending=1)
+        text = format_event_summary(log)
+        assert "runX" in text
+        for label, value in [
+            ("jobs finished", "2"),
+            ("jobs skipped (journal)", "1"),
+            ("job retries", "1"),
+            ("jobs dropped", "1"),
+            ("pool respawns", "1"),
+        ]:
+            assert any(
+                label in line and value in line
+                for line in text.splitlines()
+            ), (label, value, text)
+        assert "2.000/3.000" in text
+
+    def test_empty_log_renders(self):
+        text = format_event_summary(EventLog(run_id="empty"))
+        assert "jobs finished" in text
+        assert "wall time" not in text
 
 
 class TestStats:

@@ -34,6 +34,16 @@ class TestRunScheme:
         with pytest.raises(KeyError):
             run_scheme(fig1, "MKSS_Bogus")
 
+    def test_unknown_scheme_is_also_a_repro_error(self, fig1):
+        # harness callers catch ReproError; registry lookups historically
+        # surfaced KeyError -- UnknownSchemeError is both.
+        from repro.errors import ReproError, UnknownSchemeError
+
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            run_scheme(fig1, "MKSS_Bogus")
+        assert isinstance(excinfo.value, ReproError)
+        assert "unknown scheme 'MKSS_Bogus'" in str(excinfo.value)
+
     def test_outcome_fields(self, fig1):
         outcome = run_scheme(fig1, "MKSS_ST")
         assert outcome.scheme == "MKSS_ST"

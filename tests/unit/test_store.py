@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -12,7 +14,12 @@ from repro.harness.store import (
     sweep_from_dict,
     sweep_to_dict,
 )
-from repro.harness.sweep import BinResult, SweepResult
+from repro.harness.sweep import (
+    BinResult,
+    DroppedSet,
+    SweepResult,
+    utilization_sweep,
+)
 
 
 def make_sweep(dp=0.6):
@@ -50,9 +57,83 @@ class TestRoundTrip:
             0.4
         )
 
-    def test_malformed_document_rejected(self):
+    def test_round_trip_preserves_compare_sweeps(self, tmp_path):
+        before, after = make_sweep(dp=0.6), make_sweep(dp=0.5)
+        before_path = tmp_path / "before.json"
+        after_path = tmp_path / "after.json"
+        save_sweep(before, str(before_path))
+        save_sweep(after, str(after_path))
+        assert compare_sweeps(
+            load_sweep(str(before_path)), load_sweep(str(after_path)), "MKSS_DP"
+        ) == compare_sweeps(before, after, "MKSS_DP")
+
+    def test_dropped_sets_round_trip(self):
+        sweep = make_sweep()
+        sweep.dropped.append(
+            DroppedSet(
+                bin_range=(0.1, 0.2),
+                index=3,
+                schemes=("MKSS_DP",),
+                reason="timed out after 30s",
+            )
+        )
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert restored.dropped == sweep.dropped
+
+    def test_run_id_not_persisted(self):
+        # a resumed sweep (fresh run_id) must serialize identically to
+        # its uninterrupted twin
+        sweep = make_sweep()
+        sweep.run_id = "abc123"
+        assert "run_id" not in json.dumps(sweep_to_dict(sweep))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"schemes": ["A"]},  # missing reference and bins
+            {"schemes": ["A"], "reference_scheme": "A"},  # missing bins
+            {"schemes": ["A"], "reference_scheme": "A", "bins": 3},
+            {
+                "schemes": ["A"],
+                "reference_scheme": "A",
+                "bins": [{"range": [0.1, 0.2]}],  # bin missing counts
+            },
+            {
+                "schemes": ["A"],
+                "reference_scheme": "A",
+                "bins": [],
+                "dropped": [{"index": 0}],  # drop missing range/schemes
+            },
+        ],
+    )
+    def test_malformed_document_rejected(self, payload):
+        # corruption surfaces as ConfigurationError, never a raw KeyError
         with pytest.raises(ConfigurationError):
-            sweep_from_dict({"schemes": ["A"]})
+            sweep_from_dict(payload)
+
+
+class TestResumedSweepPersistence:
+    def test_resumed_sweep_stores_identical_json(self, tmp_path):
+        kwargs = dict(
+            bins=[(0.3, 0.4)],
+            sets_per_bin=2,
+            seed=77,
+            horizon_cap_units=300,
+        )
+        journal = str(tmp_path / "sweep.jsonl")
+        uninterrupted = utilization_sweep(journal_path=journal, **kwargs)
+        # simulate a crash: keep the header and the first completed job
+        lines = open(journal).read().splitlines()
+        with open(journal, "w") as handle:
+            handle.write("\n".join(lines[:2]) + "\n")
+        resumed = utilization_sweep(
+            journal_path=journal, resume=True, **kwargs
+        )
+        full_path = tmp_path / "full.json"
+        resumed_path = tmp_path / "resumed.json"
+        save_sweep(uninterrupted, str(full_path))
+        save_sweep(resumed, str(resumed_path))
+        assert full_path.read_text() == resumed_path.read_text()
 
 
 class TestCompare:

@@ -15,6 +15,13 @@ Usage::
     python scripts/bench_compare.py --quick      # fewer rounds (CI)
     python scripts/bench_compare.py --advisory   # report, never fail
     python scripts/bench_compare.py --update-baseline
+    python scripts/bench_compare.py --quick --select "engine or timeline"
+
+Every measured run includes a warmup pass (one iteration in ``--quick``
+mode, two otherwise) so cold caches and import latency never land in the
+recorded minimum.  ``--select`` narrows both the run and the comparison
+to benchmarks matching a pytest ``-k`` expression -- the CI smoke job
+uses it to gate merges on the engine-path benchmarks only.
 
 ``--update-baseline`` rewrites the ``baseline`` section from the current
 run (preserving the recorded ``pre_pr`` reference numbers); commit the
@@ -36,7 +43,7 @@ BENCH_FILE = REPO_ROOT / "benchmarks" / "test_bench_micro.py"
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_micro.json"
 
 
-def run_benchmarks(quick: bool) -> dict:
+def run_benchmarks(quick: bool, select: str = "") -> dict:
     """Run pytest-benchmark and return its parsed JSON report."""
     with tempfile.NamedTemporaryFile(
         suffix=".json", prefix="bench_", delete=False
@@ -52,11 +59,21 @@ def run_benchmarks(quick: bool) -> dict:
         "no:cacheprovider",
         f"--benchmark-json={json_path}",
     ]
+    if select:
+        cmd += ["-k", select]
     if quick:
+        # One warmup round keeps cold-start effects (import latency,
+        # analysis caches) out of even the short CI measurement.
         cmd += [
             "--benchmark-min-rounds=3",
             "--benchmark-max-time=0.5",
-            "--benchmark-warmup=off",
+            "--benchmark-warmup=on",
+            "--benchmark-warmup-iterations=1",
+        ]
+    else:
+        cmd += [
+            "--benchmark-warmup=on",
+            "--benchmark-warmup-iterations=2",
         ]
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
@@ -134,6 +151,12 @@ def main(argv=None) -> int:
         help="fewer rounds and smaller fixtures (noisier; for CI smoke)",
     )
     parser.add_argument(
+        "--select",
+        default="",
+        help="pytest -k expression: run and compare only matching "
+        "benchmarks (baseline entries outside the selection are ignored)",
+    )
+    parser.add_argument(
         "--advisory",
         action="store_true",
         help="report regressions but always exit 0",
@@ -145,7 +168,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(quick=args.quick)
+    report = run_benchmarks(quick=args.quick, select=args.select)
     current = stats_by_name(report)
     if not current:
         print("no benchmarks were collected", file=sys.stderr)
@@ -156,7 +179,11 @@ def main(argv=None) -> int:
         if args.baseline.exists():
             with open(args.baseline) as fh:
                 existing = json.load(fh)
-        existing["baseline"] = current
+        if args.select:
+            # A selected run only refreshes the benchmarks it measured.
+            existing.setdefault("baseline", {}).update(current)
+        else:
+            existing["baseline"] = current
         existing.setdefault("pre_pr", {})
         existing["note"] = (
             "min/mean microbenchmark times in microseconds; 'baseline' is "
@@ -176,7 +203,12 @@ def main(argv=None) -> int:
         baseline = json.load(fh)
 
     print(f"comparing against {args.baseline} (threshold {args.threshold:.0%}):")
-    regressions = compare(current, baseline.get("baseline", {}), args.threshold)
+    reference = baseline.get("baseline", {})
+    if args.select:
+        reference = {
+            name: entry for name, entry in reference.items() if name in current
+        }
+    regressions = compare(current, reference, args.threshold)
     if regressions:
         print(f"{len(regressions)} benchmark(s) regressed beyond threshold")
         return 0 if args.advisory else 1

@@ -6,7 +6,12 @@ ceiling divisions are exact.
 """
 
 from .cache import AnalysisCache, analysis_cache
-from .hyperperiod import analysis_horizon, lcm_ticks
+from .hyperperiod import (
+    analysis_horizon,
+    lcm_ticks,
+    mk_hyperperiod_ticks,
+    period_hyperperiod_ticks,
+)
 from .rta import response_time, response_times, response_time_mandatory
 from .promotion import promotion_time, promotion_times
 from .demand import mandatory_job_count, mandatory_demand, released_job_count
@@ -44,6 +49,8 @@ __all__ = [
     "AnalysisCache",
     "analysis_cache",
     "analysis_horizon",
+    "mk_hyperperiod_ticks",
+    "period_hyperperiod_ticks",
     "lcm_ticks",
     "response_time",
     "response_times",

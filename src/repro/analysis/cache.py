@@ -95,3 +95,16 @@ _CACHE = AnalysisCache()
 def analysis_cache() -> AnalysisCache:
     """The process-wide cache shared by all memoized analyses."""
     return _CACHE
+
+
+def shared_analysis(kind, taskset, timebase, params, compute):
+    """Memoize ``compute()`` under the canonical analysis key.
+
+    The key convention -- ``(kind, TaskSet.fingerprint(), ticks_per_unit,
+    *params)`` -- is easy to get subtly wrong at call sites (forgetting the
+    tick grid makes structurally equal task sets on different grids share
+    an entry); this helper centralizes it.  ``params`` must be a tuple of
+    hashable values that, together with the kind, fully describe the call.
+    """
+    key = (kind, taskset.fingerprint(), timebase.ticks_per_unit, *params)
+    return _CACHE.get(key, compute)

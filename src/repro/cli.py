@@ -26,7 +26,7 @@ from .analysis.postponement import task_postponement_intervals
 from .analysis.promotion import promotion_times
 from .analysis.rta import response_times_mandatory
 from .analysis.schedulability import is_rpattern_schedulable
-from .energy.accounting import energy_of
+from .energy.accounting import energy_of_result
 from .energy.power import PowerModel
 from .errors import ReproError
 from .harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
@@ -113,18 +113,39 @@ def cmd_simulate(args) -> int:
         raise ReproError(
             f"unknown scheme {args.scheme!r}; known: {sorted(SCHEME_FACTORIES)}"
         )
+    collect_trace = args.collect_trace and not args.fold
+    if not collect_trace:
+        for flag, name in ((args.timeline, "--timeline"), (args.export, "--export")):
+            if flag:
+                raise ReproError(
+                    f"{name} needs an execution trace; drop --no-trace/--fold"
+                )
     if args.horizon:
         horizon = args.horizon * base.ticks_per_unit
     else:
         horizon = analysis_horizon(taskset, base, 2000)
-    result = run_policy(taskset, SCHEME_FACTORIES[args.scheme](), horizon, base)
-    if args.gantt:
+    result = run_policy(
+        taskset,
+        SCHEME_FACTORIES[args.scheme](),
+        horizon,
+        base,
+        collect_trace=collect_trace,
+        fold=args.fold,
+    )
+    if args.gantt and collect_trace:
         cell = 1 if base.ticks_per_unit == 1 else f"1/{base.ticks_per_unit}"
         print(render_gantt(result.trace, base, horizon, cell_units=cell))
     metrics = collect_metrics(result)
-    energy = energy_of(result.trace, base, horizon, PowerModel.paper_default())
-    active = energy_of(result.trace, base, horizon, PowerModel.active_only())
+    energy = energy_of_result(result, PowerModel.paper_default())
+    active = energy_of_result(result, PowerModel.active_only())
     print(f"scheme: {args.scheme}  horizon: {base.from_ticks(horizon)}")
+    if args.fold:
+        cycle = (
+            base.from_ticks(result.fold_cycle_ticks)
+            if result.fold_cycle_ticks
+            else "-"
+        )
+        print(f"cycles folded: {result.cycles_folded} (cycle: {cycle})")
     print(f"active energy: {float(active.active_units):g}")
     print(f"total energy (paper model): {energy.total_energy:.3f}")
     for key, value in metrics.as_dict().items():
@@ -168,6 +189,7 @@ def cmd_sweep(args) -> int:
 
     panel = {"none": fig6a, "permanent": fig6b, "transient": fig6c}[args.faults]
     bins = parse_bins(args.bins) if args.bins else list(DEFAULT_BINS)
+    collect_trace = args.collect_trace and not args.fold
     log = EventLog()
     sweep = panel(
         bins=bins,
@@ -179,8 +201,20 @@ def cmd_sweep(args) -> int:
         resume=args.resume,
         job_timeout=args.job_timeout or None,
         events=log,
+        collect_trace=collect_trace,
+        fold=args.fold,
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
+    if args.fold:
+        folded = [
+            event.data["cycles_folded"]
+            for event in log.events
+            if event.kind == "job_finish" and "cycles_folded" in event.data
+        ]
+        print(
+            f"cycles folded: {sum(folded)} across "
+            f"{sum(1 for count in folded if count)}/{len(folded)} fresh jobs"
+        )
     if args.chart:
         from .harness.ascii_chart import render_sweep_chart
 
@@ -235,6 +269,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-task (m,k) timelines",
     )
+    simulate.add_argument(
+        "--no-trace",
+        dest="collect_trace",
+        action="store_false",
+        help="stats-only run: same energy and metrics, no trace "
+        "(disables the chart, --timeline, and --export)",
+    )
+    simulate.add_argument(
+        "--fold",
+        action="store_true",
+        help="fold repeated hyperperiod cycles analytically (implies "
+        "--no-trace; exact for fault-free and permanent-fault runs)",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="run a Figure 6 panel")
@@ -280,6 +327,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         default="",
         help="write the run's structured events to this JSONL file",
+    )
+    sweep.add_argument(
+        "--no-trace",
+        dest="collect_trace",
+        action="store_false",
+        help="run every job stats-only (identical results, lower wall "
+        "clock; sweeps never consume traces)",
+    )
+    sweep.add_argument(
+        "--fold",
+        action="store_true",
+        help="enable the cycle-folding fast path in every job (implies "
+        "--no-trace); per-job fold counts land on job_finish events",
     )
     sweep.set_defaults(func=cmd_sweep)
 

@@ -2,7 +2,12 @@
 
 from .power import PowerModel
 from .dpd import DPDController, shutdown_decision
-from .accounting import EnergyReport, energy_of
+from .accounting import (
+    EnergyReport,
+    energy_from_counts,
+    energy_of,
+    energy_of_result,
+)
 from .dvs import DVSModel, scaled_energy
 from .dvs_scheduling import (
     dvs_energy_of,
@@ -16,6 +21,8 @@ __all__ = [
     "shutdown_decision",
     "EnergyReport",
     "energy_of",
+    "energy_from_counts",
+    "energy_of_result",
     "DVSModel",
     "scaled_energy",
     "dvs_energy_of",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..sim.trace import ExecutionTrace
 from ..timebase import TimeBase
@@ -122,3 +122,80 @@ def energy_of(
             transition_count=transitions,
         )
     return EnergyReport(per_processor=per_processor, model=power)
+
+
+def energy_from_counts(
+    busy_by_processor: "Sequence[int]",
+    gap_counts: "Sequence[Dict[int, int]]",
+    timebase: TimeBase,
+    model: Optional[PowerModel] = None,
+) -> EnergyReport:
+    """Account energy from a stats-only run's aggregate counters.
+
+    ``busy_by_processor[p]`` is execution ticks inside the processor's
+    accounting window and ``gap_counts[p]`` is the multiset of idle-gap
+    lengths (ticks -> occurrences) inside the same window, both produced
+    by the engine in stats mode (already truncated at the horizon and at
+    a dead processor's fault instant).  The DPD rule only needs each
+    gap's *length*, so the multiset carries everything :func:`energy_of`
+    extracts from a trace; per-length arithmetic over exact Fractions is
+    associative and order-independent, making the result bit-identical
+    to the trace-based account of the same run.
+    """
+    power = model or PowerModel.paper_default()
+    per_processor: Dict[int, ProcessorEnergy] = {}
+    for processor, (busy_ticks, counts) in enumerate(
+        zip(busy_by_processor, gap_counts)
+    ):
+        busy_units = timebase.from_ticks(busy_ticks)
+        idle_units = Fraction(0)
+        sleep_units = Fraction(0)
+        transitions = 0
+        for length in sorted(counts):
+            count = counts[length]
+            gap_units = timebase.from_ticks(length)
+            if shutdown_decision(gap_units, power):
+                sleep_units += gap_units * count
+                transitions += count
+            else:
+                idle_units += gap_units * count
+        per_processor[processor] = ProcessorEnergy(
+            busy_units=busy_units,
+            idle_units=idle_units,
+            sleep_units=sleep_units,
+            active_energy=float(busy_units) * power.active_power,
+            idle_energy=float(idle_units) * power.idle_power,
+            sleep_energy=float(sleep_units) * power.sleep_power
+            + transitions * power.transition_energy,
+            transition_count=transitions,
+        )
+    return EnergyReport(per_processor=per_processor, model=power)
+
+
+def energy_of_result(
+    result,
+    model: Optional[PowerModel] = None,
+) -> EnergyReport:
+    """Account a :class:`~repro.sim.engine.SimulationResult`'s energy.
+
+    Dispatches on the run's mode: trace runs go through
+    :func:`energy_of`, stats-only runs through
+    :func:`energy_from_counts`.  Both paths produce identical reports
+    for the same run.
+    """
+    if result.trace is not None:
+        return energy_of(
+            result.trace,
+            result.timebase,
+            result.horizon_ticks,
+            model=model,
+            permanent_fault=result.permanent_fault,
+        )
+    if result.stats is None:  # pragma: no cover - engine fills one of the two
+        raise ValueError("result has neither trace nor stats")
+    return energy_from_counts(
+        result.busy_by_processor,
+        result.stats.gap_counts,
+        result.timebase,
+        model=model,
+    )

@@ -29,6 +29,8 @@ PAPER_FAULT_RATE = 1e-6
 class NoTransientFaults(TransientFaultModel):
     """The no-fault oracle (experiments 1 and 2)."""
 
+    never_faults = True
+
     def job_faulted(self, job: Job, completion_tick: int) -> bool:
         return False
 

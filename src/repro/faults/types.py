@@ -47,7 +47,14 @@ class TransientFaultModel:
 
     Implementations decide, once per completing job copy, whether the
     sanity check at the end of its execution flags a transient fault.
+
+    ``never_faults`` marks an oracle that is *statically known* to always
+    answer False; the simulator's cycle-folding fast path requires this
+    guarantee (a fold skips the completion checks of every folded cycle,
+    which is only sound when those checks provably change nothing).
     """
+
+    never_faults = False
 
     def job_faulted(self, job: Job, completion_tick: int) -> bool:
         """True when the completing copy's result is corrupted."""

@@ -88,6 +88,8 @@ def _run_panel(
     resume: bool = False,
     job_timeout: Optional[float] = None,
     events=None,
+    collect_trace: bool = True,
+    fold: bool = False,
 ) -> SweepResult:
     return utilization_sweep(
         bins=bins,
@@ -103,6 +105,8 @@ def _run_panel(
         resume=resume,
         job_timeout=job_timeout,
         events=events,
+        collect_trace=collect_trace,
+        fold=fold,
     )
 
 

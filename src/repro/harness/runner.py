@@ -13,7 +13,7 @@ from typing import Callable, Dict, Optional
 
 from ..analysis.cache import analysis_cache
 from ..analysis.hyperperiod import analysis_horizon
-from ..energy.accounting import EnergyReport, energy_of
+from ..energy.accounting import EnergyReport, energy_of_result
 from ..energy.power import PowerModel
 from ..errors import UnknownSchemeError
 from ..faults.scenario import FaultScenario
@@ -29,6 +29,7 @@ from ..schedulers import (
 )
 from ..schedulers.base import run_policy
 from ..sim.engine import SchedulingPolicy, SimulationResult
+from ..sim.timeline import shared_release_timeline
 
 #: Factories for every registered scheme (fresh policy per run).
 SCHEME_FACTORIES: Dict[str, Callable[[], SchedulingPolicy]] = {
@@ -70,6 +71,8 @@ def run_scheme(
     horizon_cap_units: int = 2000,
     power_model: Optional[PowerModel] = None,
     execution_time_fn=None,
+    collect_trace: bool = True,
+    fold: bool = False,
 ) -> RunOutcome:
     """Simulate one scheme and account its energy and QoS.
 
@@ -82,6 +85,9 @@ def run_scheme(
         power_model: energy model (default: the paper's evaluation model).
         execution_time_fn: optional actual-execution-time model
             (see :mod:`repro.workload.acet`); None charges full WCETs.
+        collect_trace: False runs stats-only -- same energy and metrics,
+            no trace; required by ``fold``.
+        fold: enable the engine's cycle-folding fast path.
     """
     try:
         factory = SCHEME_FACTORIES[scheme]
@@ -94,16 +100,19 @@ def run_scheme(
         ("horizon", taskset.fingerprint(), base.ticks_per_unit, horizon_cap_units),
         lambda: analysis_horizon(taskset, base, horizon_cap_units),
     )
+    timeline = shared_release_timeline(taskset, horizon, base)
     result = run_policy(
-        taskset, factory(), horizon, base, scenario, execution_time_fn
-    )
-    energy = energy_of(
-        result.trace,
-        base,
+        taskset,
+        factory(),
         horizon,
-        power_model or PowerModel.paper_default(),
-        result.permanent_fault,
+        base,
+        scenario,
+        execution_time_fn,
+        collect_trace=collect_trace,
+        fold=fold,
+        release_timeline=timeline,
     )
+    energy = energy_of_result(result, power_model or PowerModel.paper_default())
     return RunOutcome(
         scheme=scheme,
         result=result,

@@ -17,6 +17,13 @@ unpickling every TaskSet; explicitly supplied task sets are shipped
 pickled.  The ``workers=1`` path runs the same jobs inline and is exactly
 the sequential protocol.
 
+Sweeps never consume execution traces -- each job reduces to (energy,
+violations) -- so ``collect_trace=False`` runs every job stats-only and
+``fold=True`` additionally enables the engine's cycle-folding fast path.
+Both modes are exact: payloads, journals, and aggregates are bitwise
+identical to trace-mode runs (per-job fold counts are reported on
+JOB_FINISH events, outside the checkpointed payload).
+
 Resilience (this module's execution layer, :func:`execute_jobs`):
 
 * jobs are submitted **per future**, not via an all-or-nothing
@@ -153,23 +160,30 @@ def _maybe_crash_for_tests() -> None:
     os._exit(17)
 
 
-def _run_one(job: tuple) -> Tuple[float, int]:
+def _run_one(job: tuple) -> Tuple[float, int, int]:
     """Module-level worker so ProcessPoolExecutor can pickle it.
 
     ``job`` is a descriptor tuple:
 
-    * ``("set", taskset, scheme, scenario, horizon_cap_units)`` carries a
-      pickled TaskSet (used for explicitly supplied workloads and for the
-      inline ``workers=1`` path);
+    * ``("set", taskset, scheme, scenario, horizon_cap_units,
+      collect_trace, fold)`` carries a pickled TaskSet (used for
+      explicitly supplied workloads and for the inline ``workers=1``
+      path);
     * ``("gen", bins, sets_per_bin, config, seed, bin_range, index,
-      scheme, scenario, horizon_cap_units)`` names a task set by position
-      within a deterministic generation, regenerated worker-side via
-      :data:`_WORKER_TASKSETS`.
+      scheme, scenario, horizon_cap_units, collect_trace, fold)`` names
+      a task set by position within a deterministic generation,
+      regenerated worker-side via :data:`_WORKER_TASKSETS`.
+
+    Returns ``(total energy, mk violations, cycles folded)``.  The third
+    element is observability-only: the sweep splits it off into the
+    event log before journaling/aggregating, so the checkpointed payload
+    is identical whatever the execution mode (the engine guarantees the
+    metrics themselves are).
     """
     _maybe_crash_for_tests()
     kind = job[0]
     if kind == "set":
-        _, taskset, scheme, scenario, horizon_cap_units = job
+        _, taskset, scheme, scenario, horizon_cap_units, collect_trace, fold = job
     elif kind == "gen":
         (
             _,
@@ -182,6 +196,8 @@ def _run_one(job: tuple) -> Tuple[float, int]:
             scheme,
             scenario,
             horizon_cap_units,
+            collect_trace,
+            fold,
         ) = job
         taskset = _regenerated_tasksets(bins, sets_per_bin, config, seed)[
             bin_range
@@ -189,9 +205,31 @@ def _run_one(job: tuple) -> Tuple[float, int]:
     else:  # pragma: no cover - descriptors are built in this module
         raise ConfigurationError(f"unknown sweep job kind {kind!r}")
     outcome = run_scheme(
-        taskset, scheme, scenario=scenario, horizon_cap_units=horizon_cap_units
+        taskset,
+        scheme,
+        scenario=scenario,
+        horizon_cap_units=horizon_cap_units,
+        collect_trace=collect_trace,
+        fold=fold,
     )
-    return outcome.total_energy, outcome.metrics.mk_violations
+    return (
+        outcome.total_energy,
+        outcome.metrics.mk_violations,
+        outcome.result.cycles_folded,
+    )
+
+
+def _split_fold_count(value):
+    """Separate a sweep worker value into (payload, event extras).
+
+    The journaled/aggregated payload is always ``(energy, violations)``;
+    a third element (cycles folded) becomes a JOB_FINISH event field.
+    Two-element values (pre-folding journals, resumed rows) pass through
+    unchanged.
+    """
+    if isinstance(value, (tuple, list)) and len(value) > 2:
+        return tuple(value[:2]), {"cycles_folded": value[2]}
+    return value, {}
 
 
 @dataclass(frozen=True)
@@ -261,6 +299,7 @@ def execute_jobs(
     journal: Optional[RunJournal] = None,
     completed: Optional[Dict[str, Any]] = None,
     events: Optional[EventLog] = None,
+    annotate: Optional[Callable[[Any], Tuple[Any, Dict[str, Any]]]] = None,
 ) -> List[Tuple[str, Any]]:
     """Run independent jobs with fault isolation, retries, checkpointing.
 
@@ -284,6 +323,13 @@ def execute_jobs(
         completed: ``{key: value}`` of jobs already done (from a journal
             resume); matching jobs are skipped and reported as ok.
         events: event log to emit into (a throwaway one when omitted).
+        annotate: optional ``value -> (payload, extras)`` splitter applied
+            to each fresh worker value before it is journaled, reported,
+            and returned; ``extras`` become additional JOB_FINISH event
+            fields.  Lets a worker return observability data (e.g. cycles
+            folded) without it entering the checkpointed payload.  Not
+            applied to resumed (``completed``) values, which are already
+            payloads.
 
     Failure semantics in the pool path: an exception raised *by the job*
     charges that job an attempt and retries after backoff; a pool break
@@ -315,6 +361,9 @@ def execute_jobs(
 
     def finish(index: int, value: Any, wall_s: float) -> None:
         nonlocal done
+        extras: Dict[str, Any] = {}
+        if annotate is not None:
+            value, extras = annotate(value)
         results[index] = (OK, value)
         done += 1
         if journal is not None:
@@ -330,6 +379,7 @@ def execute_jobs(
             attempt=attempts[index] + 1,
             wall_s=round(wall_s, 6),
             progress=f"{done}/{total}",
+            **extras,
         )
 
     def drop(index: int, reason: str) -> None:
@@ -555,7 +605,14 @@ def _sweep_fingerprint(
     horizon_cap_units: int,
     supplied_tasksets: Optional[Dict[Tuple[float, float], List[TaskSet]]],
 ) -> Dict[str, Any]:
-    """JSON-able identity of a sweep, for journal header validation."""
+    """JSON-able identity of a sweep, for journal header validation.
+
+    Execution-mode knobs (``collect_trace``, ``fold``, ``workers``,
+    timeouts) are deliberately absent: the engine guarantees identical
+    metrics in every mode, so a journal written stats-only or folded
+    resumes a trace-mode sweep -- and vice versa -- with bitwise-equal
+    payloads.
+    """
     if supplied_tasksets is None:
         workload: Any = "generated"
     else:
@@ -595,6 +652,8 @@ def utilization_sweep(
     max_retries: int = 2,
     retry_backoff: float = 0.0,
     events: Optional[EventLog] = None,
+    collect_trace: bool = True,
+    fold: bool = False,
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -625,6 +684,14 @@ def utilization_sweep(
             that raised.
         events: :class:`EventLog` receiving the run's structured events
             (job lifecycle, respawns, progress); omitted = internal log.
+        collect_trace: False runs every job stats-only (no execution
+            trace is ever built); energies and violation counts are
+            identical, wall clock is lower.  Sweeps never consume
+            traces, so this is purely a speed knob.
+        fold: enable the engine's cycle-folding fast path in every job
+            (requires ``collect_trace=False``).  Fold counts surface as
+            ``cycles_folded`` on JOB_FINISH events; journal payloads are
+            unchanged.
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -639,6 +706,11 @@ def utilization_sweep(
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if resume and not journal_path:
         raise ConfigurationError("resume=True requires journal_path")
+    if fold and collect_trace:
+        raise ConfigurationError(
+            "fold=True requires collect_trace=False (folding is exact "
+            "for aggregate stats, not for traces)"
+        )
     policy = ExecutionPolicy(
         job_timeout=job_timeout,
         max_retries=max_retries,
@@ -707,11 +779,12 @@ def utilization_sweep(
                 if ship_spec:
                     jobs.append(
                         ("gen", *generated_spec, key, index, scheme, scenario,
-                         horizon_cap_units)
+                         horizon_cap_units, collect_trace, fold)
                     )
                 else:
                     jobs.append(
-                        ("set", taskset, scheme, scenario, horizon_cap_units)
+                        ("set", taskset, scheme, scenario, horizon_cap_units,
+                         collect_trace, fold)
                     )
 
     log = events if events is not None else EventLog()
@@ -736,6 +809,7 @@ def utilization_sweep(
             journal=journal,
             completed=completed,
             events=log,
+            annotate=_split_fold_count,
         )
     finally:
         if journal is not None:

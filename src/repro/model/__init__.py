@@ -10,7 +10,13 @@ from .mk import MKConstraint
 from .task import Task
 from .taskset import TaskSet
 from .job import Job, JobOutcome, JobRole
-from .patterns import EPattern, Pattern, RPattern, RotatedPattern
+from .patterns import (
+    EPattern,
+    Pattern,
+    RPattern,
+    RotatedPattern,
+    is_window_periodic,
+)
 from .history import MKHistory, flexibility_degree
 
 __all__ = [
@@ -24,6 +30,7 @@ __all__ = [
     "RPattern",
     "EPattern",
     "RotatedPattern",
+    "is_window_periodic",
     "MKHistory",
     "flexibility_degree",
 ]

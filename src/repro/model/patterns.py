@@ -163,6 +163,19 @@ class RotatedPattern(_PeriodicPattern):
         )
 
 
+def is_window_periodic(pattern: Pattern) -> bool:
+    """Whether ``pattern.is_mandatory`` depends only on job index mod k.
+
+    Every pattern shipped here (R, E, rotated) is periodic in the window
+    length; a user-supplied pattern of unknown provenance is not assumed
+    to be.  The cycle-folding fast path needs this distinction: a
+    window-periodic pattern's entire future is determined by the current
+    job-index phase, so two hyperperiod boundaries with equal phases see
+    identical classifications forever after.
+    """
+    return isinstance(pattern, _PeriodicPattern)
+
+
 def pattern_satisfies_mk(bits: "List[int]", mk: MKConstraint) -> bool:
     """Check that a bit sequence meets >= m ones in every k-window.
 

@@ -59,7 +59,26 @@ class QoSMetrics:
 
 
 def collect_metrics(result: SimulationResult) -> QoSMetrics:
-    """Compute :class:`QoSMetrics` from a simulation result."""
+    """Compute :class:`QoSMetrics` from a simulation result.
+
+    Stats-only runs (``result.trace is None``) already carry every count
+    in ``result.stats``; trace runs derive them from the records.  Both
+    paths yield identical metrics for the same run.
+    """
+    if result.trace is None:
+        stats = result.stats
+        if stats is None:  # pragma: no cover - engine fills one of the two
+            raise ValueError("result has neither trace nor stats")
+        return QoSMetrics(
+            released=result.released_jobs,
+            effective=stats.effective,
+            missed=stats.missed,
+            mandatory=stats.mandatory,
+            optional_executed=stats.optional_executed,
+            skipped=stats.skipped,
+            mk_violations=sum(stats.violations),
+            transient_faults=result.transient_fault_count,
+        )
     effective = 0
     missed = 0
     mandatory = 0

@@ -70,7 +70,16 @@ def verify_mk(result: SimulationResult) -> List[MKViolation]:
     Only *complete* jobs are judged: the trailing jobs whose deadlines fall
     beyond the horizon are still recorded by the engine (their deadline
     events drain), so the outcome list is complete by construction.
+
+    Requires a trace run: stats-only results carry per-task violation
+    *counts* (``result.stats.violations``) but not the per-window detail
+    this report localizes.
     """
+    if result.trace is None:
+        raise ValueError(
+            "verify_mk needs a trace run (collect_trace=True); stats-only "
+            "results expose per-task violation counts via result.stats"
+        )
     violations: List[MKViolation] = []
     for index, task in enumerate(result.taskset):
         monitor = MKMonitor(task.mk)

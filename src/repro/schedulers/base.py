@@ -21,6 +21,9 @@ def run_policy(
     timebase: Optional[TimeBase] = None,
     scenario: Optional[FaultScenario] = None,
     execution_time_fn=None,
+    collect_trace: bool = True,
+    fold: bool = False,
+    release_timeline=None,
 ) -> SimulationResult:
     """Simulate one policy over one task set under a fault scenario.
 
@@ -35,6 +38,12 @@ def run_policy(
         horizon_ticks: releases strictly before this tick are simulated.
         timebase: tick grid (defaults to the task set's own).
         scenario: fault scenario; defaults to fault-free.
+        collect_trace: False runs in stats-only mode (aggregate counters,
+            no trace -- what sweeps consume).
+        fold: enable the engine's cycle-folding fast path (requires
+            ``collect_trace=False``).
+        release_timeline: precomputed
+            :class:`~repro.sim.timeline.ReleaseTimeline` to reuse.
     """
     base = timebase or taskset.timebase()
     fault_scenario = scenario or FaultScenario.none()
@@ -47,5 +56,8 @@ def run_policy(
         transient_fault_fn=transient,
         permanent_fault=permanent,
         execution_time_fn=execution_time_fn,
+        collect_trace=collect_trace,
+        fold=fold,
+        release_timeline=release_timeline,
     )
     return engine.run()

@@ -73,3 +73,8 @@ class DistanceBasedPriority(SchedulingPolicy):
             copies=(CopySpec(JobRole.OPTIONAL, processor, release),),
             classified_as="optional",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # Decisions derive from the flexibility degree (part of the
+        # engine's canonical state) and constructor constants.
+        return ()

@@ -42,3 +42,7 @@ class SingleProcessorFP(SchedulingPolicy):
             copies=(CopySpec(JobRole.MAIN, processor, release),),
             classified_as="mandatory",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # Stateless: every job is mandatory on a fixed processor.
+        return ()

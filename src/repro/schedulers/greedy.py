@@ -93,3 +93,8 @@ class MKSSGreedy(SchedulingPolicy):
             ),
             classified_as="optional",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # All decisions derive from the flexibility degree (part of the
+        # engine's canonical state) and constants fixed at prepare().
+        return ()

@@ -188,3 +188,9 @@ class MKSSHybrid(SchedulingPolicy):
             ),
             classified_as="mandatory",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # Mutable state: per-task optional-processor alternation plus the
+        # DP-mode tasks' static pattern phase (R-patterns, so always
+        # window-periodic).
+        return (tuple(self._next_optional_processor), pattern_phases)

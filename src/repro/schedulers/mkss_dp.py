@@ -142,3 +142,8 @@ class MKSSDualPriority(SchedulingPolicy):
             ),
             classified_as="mandatory",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # Promotions and main placement are fixed at prepare(); the only
+        # release-to-release variation is the pattern phase.
+        return self.fold_state_from_patterns(self._patterns, pattern_phases)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..model.job import JobRole
-from ..model.patterns import Pattern, RPattern
+from ..model.patterns import Pattern, RPattern, is_window_periodic
 from ..sim.engine import (
     PRIMARY,
     SPARE,
@@ -74,3 +74,7 @@ class MKSSStatic(SchedulingPolicy):
             ),
             classified_as="mandatory",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # The only release-to-release variation is the pattern phase.
+        return self.fold_state_from_patterns(self._patterns, pattern_phases)

@@ -94,3 +94,10 @@ class ReExecutionFP(SchedulingPolicy):
             return None  # the recovery could never finish in time
         self._recovery_counts[key] = used + 1
         return CopySpec(job.role, self._target(ctx), now)
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # Recovery budgets only accrue after transient faults, and the
+        # engine arms folding only when transients are impossible -- so
+        # a non-empty ledger means something unexpected happened and
+        # folding must stay off.
+        return () if not self._recovery_counts else None

@@ -155,3 +155,8 @@ class MKSSSelective(SchedulingPolicy):
             copies=(CopySpec(JobRole.OPTIONAL, processor, release),),
             classified_as="optional",
         )
+
+    def fold_state(self, ctx: PolicyContext, pattern_phases):
+        # The optional-processor alternation is the only mutable state;
+        # everything else (θ, Y) is fixed at prepare().
+        return tuple(self._next_optional_processor)

@@ -19,21 +19,52 @@ backup release is postponed.  Policies express exactly that through
 * outcome recording and (m,k)-history maintenance, so flexibility degrees
   evolve exactly as in the paper's traces.
 
+Releases are driven by a shared :class:`~repro.sim.timeline.ReleaseTimeline`
+(precomputed once per (task set, horizon) and reused across schemes)
+instead of self-chaining heap events.  Two execution modes exist:
+
+* **trace mode** (``collect_trace=True``, default): full
+  :class:`~repro.sim.trace.ExecutionTrace` with segments, records, and
+  events -- what plots, exports, and debugging need;
+* **stats mode** (``collect_trace=False``): only the aggregate counters
+  downstream sweeps consume (:class:`~repro.sim.folding.RunStats`),
+  skipping all segment/record/log construction.
+
+Stats mode additionally unlocks the **cycle-folding fast path**
+(``fold=True``): at hyperperiod boundaries the engine snapshots its
+canonical state (:mod:`repro.sim.snapshot`); when a snapshot repeats and
+no fault can still occur, the remaining whole cycles are folded
+analytically (:mod:`repro.sim.folding`) and exact simulation resumes for
+the residual partial cycle.  Folded results are bit-identical to
+unfolded ones.
+
 All times are integer ticks (see :mod:`repro.timebase`).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..analysis.hyperperiod import lcm_ticks
 from ..errors import ConfigurationError, SimulationError
 from ..model.history import MKHistory
 from ..model.job import FINISHED_STATUSES, Job, JobOutcome, JobRole, JobStatus
+from ..model.patterns import is_window_periodic
 from ..model.taskset import TaskSet
 from ..timebase import TimeBase
+from .folding import RunStats, shift_state
 from .queues import ReadyQueue
+from .snapshot import (
+    EV_DEADLINE,
+    EV_ENQUEUE,
+    EV_PERMFAULT,
+    EV_RELEASE,
+    capture_state,
+)
+from .timeline import ReleaseTimeline
 from .trace import ExecutionTrace, LogicalJobRecord
 
 #: Conventional processor indices.
@@ -43,11 +74,17 @@ SPARE = 1
 # Event kinds double as the ordering at equal ticks: permanent faults
 # strike first, then deadlines are judged, then new jobs arrive, then
 # postponed copies enqueue.  Integer kinds keep event dispatch off the
-# string-comparison path.
-_EV_PERMFAULT = 0
-_EV_DEADLINE = 1
-_EV_RELEASE = 2
-_EV_ENQUEUE = 3
+# string-comparison path.  (Defined in snapshot.py so the folding
+# machinery can interpret heap entries; aliased here for the hot path.)
+_EV_PERMFAULT = EV_PERMFAULT
+_EV_DEADLINE = EV_DEADLINE
+_EV_RELEASE = EV_RELEASE
+_EV_ENQUEUE = EV_ENQUEUE
+
+#: How many distinct boundary states the folding detector retains before
+#: it stops looking for a recurrence (memory bound for pathological,
+#: never-settling runs).
+_MAX_FOLD_SNAPSHOTS = 64
 
 
 @dataclass(frozen=True)
@@ -148,11 +185,52 @@ class SchedulingPolicy:
         """
         return None
 
+    def fold_state(self, ctx: PolicyContext, pattern_phases: Tuple[int, ...]):
+        """Hashable signature of the policy's mutable state, or None.
+
+        Cycle folding (see :mod:`repro.sim.snapshot`) may only treat two
+        hyperperiod boundaries as equivalent if the *policy* would also
+        behave identically from both.  Returning a hashable value
+        asserts exactly that: whenever the engine's canonical states and
+        these signatures agree at two boundaries, the policy's future
+        decisions agree too (its remaining mutable state, if any, is
+        time-translation invariant).
+
+        ``pattern_phases[i]`` is ``(jobs of task i released so far) mod
+        k_i`` -- the job-index phase a window-periodic static pattern
+        needs, since the folding cycle is the LCM of the *periods*, not
+        of ``k_i * P_i``.
+
+        The default returns None, which disables folding: a policy we
+        know nothing about may carry hidden mutable state.
+        """
+        return None
+
+
+    def fold_state_from_patterns(
+        self, patterns, pattern_phases: Tuple[int, ...]
+    ):
+        """``pattern_phases`` when every pattern is window-periodic, else None.
+
+        Shared implementation for static-pattern policies: their only
+        release-to-release variation is the pattern phase, so the phase
+        tuple is a complete fold signature -- provided every pattern
+        really is periodic in its window (user-supplied patterns may not
+        be, in which case folding must stay off).
+        """
+        if patterns is not None and all(
+            is_window_periodic(pattern) for pattern in patterns
+        ):
+            return pattern_phases
+        return None
+
 
 TransientFaultFn = Callable[[Job, int], bool]
 """Callable deciding whether a completing copy suffered a transient fault.
 
 Receives the job copy and the completion tick; returns True on fault.
+A ``never_faults`` attribute set to True marks the callable as a
+statically-known no-op, which keeps the cycle-folding fast path legal.
 """
 
 ExecutionTimeFn = Callable[[int, int, int], int]
@@ -167,43 +245,88 @@ assumption.
 
 @dataclass
 class SimulationResult:
-    """Everything observable about one simulation run."""
+    """Everything observable about one simulation run.
+
+    ``trace`` is None for stats-only runs (``collect_trace=False``), in
+    which case ``stats`` carries the aggregate counters instead; exactly
+    one of the two is always present.  ``busy_by_processor`` is filled
+    by the engine in both modes, making :meth:`busy_ticks` O(1).
+    """
 
     taskset: TaskSet
     timebase: TimeBase
     horizon_ticks: int
     policy_name: str
-    trace: ExecutionTrace
+    trace: Optional[ExecutionTrace]
     permanent_fault: Optional[Tuple[int, int]] = None  # (processor, tick)
     transient_fault_count: int = 0
     released_jobs: int = 0
+    stats: Optional[RunStats] = None
+    busy_by_processor: Optional[Tuple[int, ...]] = None
+    cycles_folded: int = 0
+    fold_cycle_ticks: int = 0
+    _mk_cache: Optional[List[bool]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def mk_satisfied(self) -> List[bool]:
-        """Per-task verdict: did every k-window keep >= m successes?"""
-        verdicts = []
-        for index, task in enumerate(self.taskset):
-            outcomes = self.trace.outcomes_for_task(index)
-            verdicts.append(task.mk.is_satisfied_by(outcomes))
-        return verdicts
+        """Per-task verdict: did every k-window keep >= m successes?
+
+        Computed once and cached (sweep aggregation used to recompute
+        the full sliding-window scan on every access).
+        """
+        cached = self._mk_cache
+        if cached is None:
+            if self.trace is not None:
+                cached = [
+                    task.mk.is_satisfied_by(self.trace.outcomes_for_task(i))
+                    for i, task in enumerate(self.taskset)
+                ]
+            elif self.stats is not None:
+                cached = [count == 0 for count in self.stats.violations]
+            else:  # pragma: no cover - engine always fills one of the two
+                raise SimulationError("result has neither trace nor stats")
+            self._mk_cache = cached
+        return list(cached)
 
     def all_mk_satisfied(self) -> bool:
         """True when no task violated its (m,k)-constraint."""
         return all(self.mk_satisfied())
 
     def busy_ticks(self, processor: Optional[int] = None) -> int:
-        """Execution ticks inside [0, horizon)."""
+        """Execution ticks inside [0, horizon); O(1) from counters."""
+        counters = self.busy_by_processor
+        if counters is not None:
+            if processor is None:
+                return sum(counters)
+            if 0 <= processor < len(counters):
+                return counters[processor]
+            return 0
+        if self.trace is None:
+            raise SimulationError("result has neither trace nor counters")
         return self.trace.busy_ticks(processor, window=(0, self.horizon_ticks))
 
 
 class _LogicalJob:
-    """Engine-internal bookkeeping for one logical job."""
+    """Engine-internal bookkeeping for one logical job.
 
-    __slots__ = ("record", "copies", "decided")
+    ``record`` is None in stats mode; ``task_index`` and ``fd`` are kept
+    directly so outcome accounting and recovery planning never need it.
+    """
 
-    def __init__(self, record: LogicalJobRecord) -> None:
+    __slots__ = ("record", "copies", "decided", "task_index", "fd")
+
+    def __init__(
+        self,
+        record: Optional[LogicalJobRecord],
+        task_index: int,
+        fd: int,
+    ) -> None:
         self.record = record
         self.copies: List[Job] = []
         self.decided = False
+        self.task_index = task_index
+        self.fd = fd
 
 
 class StandbySparingEngine:
@@ -219,6 +342,9 @@ class StandbySparingEngine:
         permanent_fault: Optional[Tuple[int, int]] = None,
         initial_history_met: bool = True,
         execution_time_fn: Optional[ExecutionTimeFn] = None,
+        collect_trace: bool = True,
+        fold: bool = False,
+        release_timeline: Optional[ReleaseTimeline] = None,
     ) -> None:
         """Configure a run.
 
@@ -234,9 +360,24 @@ class StandbySparingEngine:
             initial_history_met: boundary condition for (m,k)-histories.
             execution_time_fn: actual execution time model (ACET < WCET);
                 None charges every job its full WCET (the paper's model).
+            collect_trace: when False, skip all trace construction and
+                produce aggregate stats only (sweep mode).
+            fold: enable the cycle-folding fast path; requires
+                ``collect_trace=False`` (a folded trace would have holes).
+                Folding additionally requires a fault-quiet tail -- it
+                arms only when no execution-time model is set and the
+                transient model is statically fault-free -- and a policy
+                whose :meth:`SchedulingPolicy.fold_state` cooperates.
+            release_timeline: precomputed release sequence to reuse
+                across runs; must match (task set periods, horizon).
         """
         if horizon_ticks <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon_ticks}")
+        if fold and collect_trace:
+            raise ConfigurationError(
+                "cycle folding requires stats-only mode (collect_trace=False): "
+                "a folded run cannot materialize the skipped cycles' trace"
+            )
         self.taskset = taskset
         self.policy = policy
         self.timebase = timebase or taskset.timebase()
@@ -251,6 +392,9 @@ class StandbySparingEngine:
                 raise ConfigurationError(f"fault tick must be >= 0, got {tick}")
         self._initial_history_met = initial_history_met
         self.execution_time_fn = execution_time_fn
+        self.collect_trace = collect_trace
+        self.fold = fold
+        self.release_timeline = release_timeline
 
     # -- public API ---------------------------------------------------------
 
@@ -258,6 +402,7 @@ class StandbySparingEngine:
         """Execute the simulation and return its result."""
         base = self.timebase
         taskset = self.taskset
+        task_count = len(taskset)
         histories = [
             MKHistory(task.mk, initial_met=self._initial_history_met)
             for task in taskset
@@ -278,9 +423,31 @@ class StandbySparingEngine:
         horizon = self.horizon
         execution_time_fn = self.execution_time_fn
         transient_fault_fn = self.transient_fault_fn
+        collect = self.collect_trace
 
-        trace = ExecutionTrace(processor_count=2)
-        add_segment = trace.add_segment
+        periods = [base.to_ticks(task.period) for task in taskset]
+        deadlines = [base.to_ticks(task.deadline) for task in taskset]
+        wcets = [base.to_ticks(task.wcet) for task in taskset]
+
+        timeline = self.release_timeline
+        if timeline is None:
+            timeline = ReleaseTimeline(taskset, horizon, base)
+        elif (
+            timeline.horizon_ticks != horizon
+            or list(timeline.period_ticks) != periods
+        ):
+            raise ConfigurationError(
+                "release timeline does not match this run's periods/horizon"
+            )
+        rel_ticks = timeline.ticks
+        rel_tasks = timeline.tasks
+        rel_jobs = timeline.jobs
+        rel_count = len(rel_ticks)
+        cursor = 0
+
+        trace = ExecutionTrace(processor_count=2) if collect else None
+        add_segment = trace.add_segment if collect else None
+        stats = None if collect else RunStats(task_count)
         alive = [True, True]
         mjq = [ReadyQueue(), ReadyQueue()]
         ojq = [ReadyQueue(), ReadyQueue()]
@@ -289,14 +456,31 @@ class StandbySparingEngine:
         # permanent fault can mark exactly the live postponed copies LOST
         # without scanning every logical job ever released.
         pending: List[set] = [set(), set()]
-        periods = [base.to_ticks(task.period) for task in taskset]
-        deadlines = [base.to_ticks(task.deadline) for task in taskset]
-        wcets = [base.to_ticks(task.wcet) for task in taskset]
         transient_faults = 0
         released_jobs = 0
 
+        # Per-processor busy/idle accounting (both modes; O(1) busy_ticks
+        # on the result).  ``busy_acc`` aliases stats.busy in stats mode
+        # so folding advances the same list.
+        busy_acc = stats.busy if stats is not None else [0, 0]
+        gap_counts = stats.gap_counts if stats is not None else None
+        gap_cursor = [0, 0]
+        window_end = [horizon, horizon]
+
+        # Lean per-task (m,k) trackers (stats mode): sliding window of the
+        # last k outcomes plus a ones count.  Exact replacement for the
+        # monitor's full replay because, with constrained deadlines
+        # (D <= P, enforced by the Task model), per-task decide order
+        # equals job order.
+        tr_k = [task.mk.k for task in taskset]
+        tr_m = [task.mk.m for task in taskset]
+        tr_window = [deque(maxlen=k) for k in tr_k]
+        tr_ones = [0] * task_count
+
         # Heap entries are (time, kind, seq, a, b); ``a``/``b`` are the
         # kind-specific arguments (task/job indices, a Job, a processor).
+        # Releases are NOT heap events: they stream from the timeline and
+        # merge into the drain loop at kind rank _EV_RELEASE.
         heap: List[Tuple[int, int, int, object, object]] = []
         seq = 0
 
@@ -310,11 +494,40 @@ class StandbySparingEngine:
             pending[job.processor].add(job)
             push_event(job.enqueue_time, _EV_ENQUEUE, job)
 
-        for index in range(len(taskset)):
-            push_event(0, _EV_RELEASE, index, 1)
         if self.permanent_fault is not None:
             processor, tick = self.permanent_fault
             push_event(tick, _EV_PERMFAULT, processor)
+
+        # -- cycle folding setup --------------------------------------------
+        #
+        # fold_mode: 0 = off, 1 = waiting for the permanent fault to land,
+        # 2 = armed (snapshotting at boundaries), 3 = folded (done).
+        # Folding is legal only when the remaining run is a closed system:
+        # stats mode, WCET execution, no transient faults possible, and the
+        # permanent fault (if any) already injected.
+        fold_mode = 0
+        cycle_ticks = 0
+        next_boundary = 0
+        snapshots: Dict[tuple, Tuple[int, RunStats, Tuple[int, int]]] = {}
+        cycles_folded = 0
+        fold_cycle = 0
+        if (
+            self.fold
+            and not collect
+            and execution_time_fn is None
+            and (
+                transient_fault_fn is None
+                or getattr(transient_fault_fn, "never_faults", False)
+            )
+        ):
+            cycle_ticks = lcm_ticks(periods)
+            # The earliest possible fold needs two boundary visits plus at
+            # least one whole cycle before the horizon.
+            if cycle_ticks <= (horizon - 1) - cycle_ticks:
+                fold_mode = 1 if self.permanent_fault is not None else 2
+                next_boundary = cycle_ticks
+        policy_fold_state = policy.fold_state
+        tr_ks = tr_k  # alias for the phase computation below
 
         # -- helpers bound to local state -----------------------------------
 
@@ -323,23 +536,43 @@ class StandbySparingEngine:
             if entry.decided:
                 return
             entry.decided = True
-            entry.record.outcome = (
-                JobOutcome.EFFECTIVE if effective else JobOutcome.MISSED
-            )
-            entry.record.decided_at = now
-            histories[entry.record.task_index].record(effective)
+            task_index = entry.task_index
+            if collect:
+                entry.record.outcome = (
+                    JobOutcome.EFFECTIVE if effective else JobOutcome.MISSED
+                )
+                entry.record.decided_at = now
+            else:
+                if effective:
+                    stats.effective += 1
+                else:
+                    stats.missed += 1
+                window = tr_window[task_index]
+                k = tr_k[task_index]
+                if len(window) == k:
+                    tr_ones[task_index] -= window[0]
+                if effective:
+                    window.append(1)
+                    tr_ones[task_index] += 1
+                else:
+                    window.append(0)
+                if len(window) == k and tr_ones[task_index] < tr_m[task_index]:
+                    stats.violations[task_index] += 1
+            histories[task_index].record(effective)
 
         def abandon_copy(job: Job, now: int, reason: str) -> None:
             if job.is_finished:
                 return
             job.status = JobStatus.ABANDONED
-            trace.log(now, "abandon", f"{job.name}/{job.role.value}: {reason}")
+            if collect:
+                trace.log(now, "abandon", f"{job.name}/{job.role.value}: {reason}")
 
         def cancel_copy(job: Job, now: int) -> None:
             if job.is_finished:
                 return
             job.status = JobStatus.CANCELED
-            trace.log(now, "cancel", f"{job.name}/{job.role.value}")
+            if collect:
+                trace.log(now, "cancel", f"{job.name}/{job.role.value}")
 
         def enqueue_copy(job: Job, now: int) -> None:
             if job.is_finished:
@@ -360,7 +593,8 @@ class StandbySparingEngine:
             job.faulted = faulted
             if faulted:
                 transient_faults += 1
-                trace.log(now, "transient-fault", f"{job.name}/{job.role.value}")
+                if collect:
+                    trace.log(now, "transient-fault", f"{job.name}/{job.role.value}")
             entry = logical[job.key()]
             if faulted:
                 if not entry.decided:
@@ -384,13 +618,14 @@ class StandbySparingEngine:
                         entry.copies.append(recovery)
                         if spec.role is JobRole.OPTIONAL:
                             recovery.queue_key = (
-                                entry.record.flexibility_degree or 0,
+                                entry.fd,
                                 job.task_index,
                                 job.job_index,
                             )
-                        trace.log(
-                            now, "recovery", f"{job.name}/{job.role.value}"
-                        )
+                        if collect:
+                            trace.log(
+                                now, "recovery", f"{job.name}/{job.role.value}"
+                            )
                         if recovery.enqueue_time <= now:
                             enqueue_copy(recovery, now)
                         else:
@@ -422,24 +657,33 @@ class StandbySparingEngine:
 
         def handle_release(task_index: int, job_index: int, now: int) -> None:
             nonlocal released_jobs
-            release = (job_index - 1) * periods[task_index]
-            if release >= horizon:
-                return
+            release = now  # timeline entries fire exactly at their tick
             deadline = release + deadlines[task_index]
             fd = histories[task_index].flexibility_degree()
             plan = plan_release(
                 ctx, task_index, job_index, release, deadline, fd
             )
-            record = LogicalJobRecord(
-                task_index=task_index,
-                job_index=job_index,
-                release=release,
-                deadline=deadline,
-                classified_as=plan.classified_as,
-                flexibility_degree=fd,
-            )
-            trace.records[(task_index, job_index)] = record
-            entry = _LogicalJob(record)
+            if collect:
+                record = LogicalJobRecord(
+                    task_index=task_index,
+                    job_index=job_index,
+                    release=release,
+                    deadline=deadline,
+                    classified_as=plan.classified_as,
+                    flexibility_degree=fd,
+                )
+                trace.records[(task_index, job_index)] = record
+                entry = _LogicalJob(record, task_index, fd)
+            else:
+                entry = _LogicalJob(None, task_index, fd)
+                classified = plan.classified_as
+                if classified == "mandatory":
+                    stats.mandatory += 1
+                elif classified == "optional":
+                    stats.optional_executed += 1
+                elif classified == "skipped":
+                    stats.skipped += 1
+                stats.released += 1
             logical[(task_index, job_index)] = entry
             released_jobs += 1
 
@@ -488,16 +732,21 @@ class StandbySparingEngine:
                 else:
                     defer_enqueue(job)
             push_event(deadline, _EV_DEADLINE, task_index, job_index)
-            next_release = job_index * periods[task_index]
-            if next_release < horizon:
-                push_event(next_release, _EV_RELEASE, task_index, job_index + 1)
 
         def handle_permfault(processor: int, now: int) -> None:
+            nonlocal fold_mode
+            if fold_mode == 1:
+                # The fault has landed; from here on the run is a closed
+                # system and boundary snapshots become meaningful.
+                fold_mode = 2
             if not alive[processor]:
                 return
             alive[processor] = False
             ctx.dead_processor = processor
-            trace.log(now, "permanent-fault", f"processor {processor}")
+            if collect:
+                trace.log(now, "permanent-fault", f"processor {processor}")
+            else:
+                window_end[processor] = now if now < horizon else horizon
             for queue in (mjq[processor], ojq[processor]):
                 for job in queue.live_jobs():
                     job.status = JobStatus.LOST
@@ -575,19 +824,123 @@ class StandbySparingEngine:
             guard += 1
             if guard > guard_limit:
                 raise SimulationError("simulation did not terminate (guard hit)")
-            while heap and heap[0][0] <= now:
-                _, kind, _, a, b = heappop(heap)
-                if kind == _EV_RELEASE:
-                    handle_release(a, b, now)
-                elif kind == _EV_DEADLINE:
-                    handle_deadline(a, b, now)
-                elif kind == _EV_ENQUEUE:
-                    pending[a.processor].discard(a)
-                    enqueue_copy(a, now)
-                elif kind == _EV_PERMFAULT:
-                    handle_permfault(a, now)
-                else:  # pragma: no cover
-                    raise SimulationError(f"unknown event kind {kind!r}")
+            # Drain due events, merging the heap with the release
+            # timeline: at equal ticks, permanent faults and deadlines
+            # (kinds 0/1) precede releases (rank 2), which precede
+            # enqueues (kind 3) -- the same total order the heap alone
+            # used to produce when releases were heap events.
+            while True:
+                if heap:
+                    head = heap[0]
+                    head_time = head[0]
+                    if head_time <= now and (
+                        cursor >= rel_count
+                        or head_time < rel_ticks[cursor]
+                        or (
+                            head_time == rel_ticks[cursor]
+                            and head[1] < _EV_RELEASE
+                        )
+                    ):
+                        _, kind, _, a, b = heappop(heap)
+                        if kind == _EV_DEADLINE:
+                            handle_deadline(a, b, now)
+                        elif kind == _EV_ENQUEUE:
+                            pending[a.processor].discard(a)
+                            enqueue_copy(a, now)
+                        elif kind == _EV_PERMFAULT:
+                            handle_permfault(a, now)
+                        else:  # pragma: no cover
+                            raise SimulationError(f"unknown event kind {kind!r}")
+                        continue
+                if cursor < rel_count and rel_ticks[cursor] <= now:
+                    handle_release(rel_tasks[cursor], rel_jobs[cursor], now)
+                    cursor += 1
+                    continue
+                break
+
+            # -- cycle folding: snapshot at hyperperiod boundaries ----------
+            if fold_mode == 2 and now == next_boundary:
+                phases = tuple(
+                    (now // periods[i]) % tr_ks[i] for i in range(task_count)
+                )
+                signature = policy_fold_state(ctx, phases)
+                if signature is not None:
+                    state = capture_state(
+                        now,
+                        periods,
+                        alive,
+                        ctx.dead_processor,
+                        histories,
+                        tuple(tuple(w) for w in tr_window),
+                        heap,
+                        mjq,
+                        ojq,
+                        current,
+                        sticky,
+                        logical,
+                        signature,
+                    )
+                    if state is not None:
+                        offsets = (now - gap_cursor[0], now - gap_cursor[1])
+                        prior = snapshots.get(state)
+                        if prior is not None:
+                            first_tick, base_stats, base_offsets = prior
+                            cycle = now - first_tick
+                            folds = (horizon - now - 1) // cycle
+                            busy_delta = (
+                                stats.busy[0] - base_stats.busy[0],
+                                stats.busy[1] - base_stats.busy[1],
+                            )
+                            # The per-cycle gap ledger is only foldable
+                            # when every gap-closing processor's open-gap
+                            # offset matches (the cycle's first closed
+                            # gap straddles the boundary and includes
+                            # it); an idle-through-the-cycle processor
+                            # closes no gaps, so its offset is free.
+                            offsets_ok = all(
+                                busy_delta[p] == 0
+                                or base_offsets[p] == offsets[p]
+                                for p in (PRIMARY, SPARE)
+                            )
+                            if folds >= 1 and offsets_ok:
+                                stats.fold(base_stats, folds)
+                                shift = folds * cycle
+                                for processor in (PRIMARY, SPARE):
+                                    if busy_delta[processor] > 0:
+                                        gap_cursor[processor] += shift
+                                shift_state(
+                                    shift,
+                                    [shift // p for p in periods],
+                                    heap,
+                                    mjq,
+                                    ojq,
+                                    current,
+                                    sticky,
+                                    pending,
+                                    logical,
+                                )
+                                cursor += folds * timeline.releases_per_span(
+                                    cycle
+                                )
+                                now += shift
+                                cycles_folded = folds
+                                fold_cycle = cycle
+                                fold_mode = 3
+                            elif not offsets_ok:
+                                # Same schedule state, different open-gap
+                                # prehistory.  Re-anchor on the current
+                                # boundary: the repeating schedule fixes
+                                # the offset of every busy processor at
+                                # the *next* visit, so that one folds.
+                                snapshots[state] = (now, stats.copy(), offsets)
+                        elif len(snapshots) < _MAX_FOLD_SNAPSHOTS:
+                            snapshots[state] = (now, stats.copy(), offsets)
+            if fold_mode in (1, 2):
+                next_boundary = (now // cycle_ticks + 1) * cycle_ticks
+                if next_boundary > (horizon - 1) - cycle_ticks:
+                    # No whole cycle can fit after the next boundary;
+                    # stop snapshotting (and stop pausing at boundaries).
+                    fold_mode = 0
 
             next_completion: Optional[int] = None
             for processor in (PRIMARY, SPARE):
@@ -626,14 +979,22 @@ class StandbySparingEngine:
                 current[processor] = job
 
             next_heap_time = heap[0][0] if heap else None
-            if next_heap_time is None and next_completion is None:
-                break
-            if next_heap_time is None:
+            next_release_time = rel_ticks[cursor] if cursor < rel_count else None
+            next_time = next_heap_time
+            if next_release_time is not None and (
+                next_time is None or next_release_time < next_time
+            ):
+                next_time = next_release_time
+            if next_completion is not None and (
+                next_time is None or next_completion < next_time
+            ):
                 next_time = next_completion
-            elif next_completion is None:
-                next_time = next_heap_time
-            else:
-                next_time = min(next_heap_time, next_completion)
+            if next_time is None:
+                break
+            if fold_mode in (1, 2) and next_time > next_boundary:
+                # Pause at the boundary so the snapshot sees a canonical
+                # instant even when no event lands exactly there.
+                next_time = next_boundary
             if next_time < now:  # pragma: no cover - heap is monotone
                 raise SimulationError("time went backwards")
 
@@ -642,10 +1003,29 @@ class StandbySparingEngine:
                     job = current[processor]
                     if job is None:
                         continue
-                    ran = min(job.remaining, next_time - now)
-                    if job.started_at is None:
-                        job.started_at = now
-                    add_segment(processor, now, now + ran, job)
+                    ran = job.remaining
+                    if next_time - now < ran:
+                        ran = next_time - now
+                    end = now + ran
+                    if collect:
+                        if job.started_at is None:
+                            job.started_at = now
+                        add_segment(processor, now, end, job)
+                    if now < horizon:
+                        busy_acc[processor] += (
+                            end if end <= horizon else horizon
+                        ) - now
+                    if not collect:
+                        gap_start = gap_cursor[processor]
+                        if now > gap_start:
+                            gap_end = now
+                            if gap_end > window_end[processor]:
+                                gap_end = window_end[processor]
+                            if gap_end > gap_start:
+                                counts = gap_counts[processor]
+                                length = gap_end - gap_start
+                                counts[length] = counts.get(length, 0) + 1
+                        gap_cursor[processor] = end
                     job.remaining -= ran
             now = next_time
             # Primary-processor completions are processed first so a main
@@ -659,7 +1039,20 @@ class StandbySparingEngine:
                         sticky[processor] = None
                     handle_completion(job, now)
 
-        trace.validate()
+        if collect:
+            trace.validate()
+        else:
+            # Close each processor's final idle gap against its energy
+            # window (the horizon, or the fault tick for a dead one).
+            for processor in (PRIMARY, SPARE):
+                end = window_end[processor]
+                start = gap_cursor[processor]
+                if start < end:
+                    counts = gap_counts[processor]
+                    counts[end - start] = counts.get(end - start, 0) + 1
+            # Folding scaled the per-counter ledger; mirror the released
+            # count kept for the result (stats.released is authoritative).
+            released_jobs = stats.released
         return SimulationResult(
             taskset=taskset,
             timebase=base,
@@ -669,4 +1062,8 @@ class StandbySparingEngine:
             permanent_fault=self.permanent_fault,
             transient_fault_count=transient_faults,
             released_jobs=released_jobs,
+            stats=stats,
+            busy_by_processor=tuple(busy_acc),
+            cycles_folded=cycles_folded,
+            fold_cycle_ticks=fold_cycle,
         )

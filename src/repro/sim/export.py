@@ -13,6 +13,7 @@ import io
 import json
 from typing import Any, Dict, List
 
+from ..errors import ConfigurationError
 from ..sim.engine import SimulationResult
 
 
@@ -22,8 +23,17 @@ def _units(result: SimulationResult, ticks: "int | None") -> "str | None":
     return str(result.timebase.from_ticks(ticks))
 
 
+def _require_trace(result: SimulationResult) -> None:
+    if result.trace is None:
+        raise ConfigurationError(
+            "export needs a trace run (collect_trace=True); stats-only "
+            "results have no segments or records to flatten"
+        )
+
+
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Flatten a simulation result into JSON-serializable primitives."""
+    _require_trace(result)
     segments: List[Dict[str, Any]] = [
         {
             "processor": s.processor,
@@ -90,6 +100,7 @@ def result_to_json(result: SimulationResult, indent: int = 2) -> str:
 
 def segments_to_csv(result: SimulationResult) -> str:
     """The trace segments as CSV text (one row per execution interval)."""
+    _require_trace(result)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["processor", "start", "end", "task", "job", "role"])

@@ -1,0 +1,199 @@
+"""Cycle ledger and fold arithmetic for the cycle-folding fast path.
+
+When the engine detects that its canonical state at one hyperperiod
+boundary equals the state at a later boundary (see
+:mod:`repro.sim.snapshot`), the schedule between the two boundaries --
+one *cycle* -- repeats verbatim until the horizon.  Folding then means:
+
+1. add ``r`` times the per-cycle delta to every cumulative counter
+   (:meth:`RunStats.fold`), where the delta is measured between the two
+   matching boundaries and ``r`` is the number of whole cycles skipped;
+2. translate the live dynamic state ``r * cycle`` ticks into the future
+   (:func:`shift_state`) so exact simulation resumes for the residual
+   partial cycle.
+
+Both steps are exact, not approximate: the counters are integers (gap
+*lengths* are bucketed, and the downstream energy arithmetic over the
+buckets is :class:`~fractions.Fraction`-exact and order-independent),
+and the state translation is a bijection, so a folded run's
+:class:`~repro.sim.engine.SimulationResult` is bit-identical to the
+unfolded run's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .snapshot import EV_DEADLINE, EV_ENQUEUE
+
+
+class RunStats:
+    """Cumulative, foldable counters of one stats-only run.
+
+    Everything in here is part of the run's *ledger* -- monotone counts
+    that grow cycle by cycle -- as opposed to the dynamic state captured
+    by :mod:`repro.sim.snapshot`.  ``fold`` advances the ledger by ``r``
+    copies of the per-cycle delta.
+
+    Attributes:
+        busy: per-processor execution ticks inside [0, horizon).
+        gap_counts: per-processor multiset of *closed* idle-gap lengths,
+            as a length -> count dict (the energy model only needs each
+            gap's length, not its position).
+        released / effective / missed / mandatory / optional_executed /
+            skipped: logical-job counts matching
+            :class:`~repro.qos.metrics.QoSMetrics`.
+        violations: per-task count of violated (m,k) windows.
+    """
+
+    __slots__ = (
+        "busy",
+        "gap_counts",
+        "released",
+        "effective",
+        "missed",
+        "mandatory",
+        "optional_executed",
+        "skipped",
+        "violations",
+    )
+
+    def __init__(self, task_count: int) -> None:
+        self.busy: List[int] = [0, 0]
+        self.gap_counts: List[Dict[int, int]] = [{}, {}]
+        self.released = 0
+        self.effective = 0
+        self.missed = 0
+        self.mandatory = 0
+        self.optional_executed = 0
+        self.skipped = 0
+        self.violations: List[int] = [0] * task_count
+
+    def copy(self) -> "RunStats":
+        """An independent snapshot of the ledger (the fold baseline)."""
+        dup = RunStats.__new__(RunStats)
+        dup.busy = list(self.busy)
+        dup.gap_counts = [dict(counts) for counts in self.gap_counts]
+        dup.released = self.released
+        dup.effective = self.effective
+        dup.missed = self.missed
+        dup.mandatory = self.mandatory
+        dup.optional_executed = self.optional_executed
+        dup.skipped = self.skipped
+        dup.violations = list(self.violations)
+        return dup
+
+    def fold(self, base: "RunStats", cycles: int) -> None:
+        """Advance the ledger by ``cycles`` copies of (self - base).
+
+        ``base`` is the ledger as it stood at the first of the two
+        matching boundaries; ``self`` holds the values at the second.
+        Counters only grow, so every delta is >= 0 and every gap length
+        present in ``base`` is present here too.
+        """
+        r = cycles
+        # Lists are mutated in place: the engine's hot loop holds direct
+        # references to ``busy`` and ``gap_counts``.
+        for processor in (0, 1):
+            self.busy[processor] += (
+                self.busy[processor] - base.busy[processor]
+            ) * r
+        for mine, theirs in zip(self.gap_counts, base.gap_counts):
+            for length, count in mine.items():
+                delta = count - theirs.get(length, 0)
+                if delta:
+                    mine[length] = count + delta * r
+        self.released += (self.released - base.released) * r
+        self.effective += (self.effective - base.effective) * r
+        self.missed += (self.missed - base.missed) * r
+        self.mandatory += (self.mandatory - base.mandatory) * r
+        self.optional_executed += (
+            self.optional_executed - base.optional_executed
+        ) * r
+        self.skipped += (self.skipped - base.skipped) * r
+        for index in range(len(self.violations)):
+            self.violations[index] += (
+                self.violations[index] - base.violations[index]
+            ) * r
+
+
+def shift_state(
+    shift: int,
+    rel_shifts: Sequence[int],
+    heap: List[tuple],
+    mjq,
+    ojq,
+    current,
+    sticky,
+    pending,
+    logical: Dict[tuple, object],
+) -> None:
+    """Translate the engine's live dynamic state ``shift`` ticks forward.
+
+    ``rel_shifts[i]`` is the number of jobs task ``i`` releases per
+    folded span (``shift // period_i``); job indices advance by it so
+    the resumed simulation's identities line up with the unfolded run's.
+
+    Mutates everything in place.  Job objects are shared by the queues,
+    slots, pending sets, heap events, and logical entries, so each one
+    is touched exactly once via its logical entry; the identity-keyed
+    containers (pending sets, current/sticky slots) need no rebuild,
+    while the key-ordered containers (ready queues, the logical dict)
+    are re-keyed.  The event heap keeps its ordering under a uniform
+    time shift, so it is rewritten entry by entry without re-heapifying.
+    """
+    # Every logical job that can still influence the run is reachable
+    # through a pending deadline event or a live copy; anything else is
+    # inert and dropped from the dict (its key would otherwise go stale).
+    referenced: Dict[tuple, object] = {}
+    for _time, kind, _seq, a, b in heap:
+        if kind == EV_DEADLINE:
+            referenced[(a, b)] = logical[(a, b)]
+        elif kind == EV_ENQUEUE and not a.is_finished:
+            referenced[a.key()] = logical[a.key()]
+    for processor in (0, 1):
+        for queue in (mjq[processor], ojq[processor]):
+            for job in queue.live_jobs():
+                referenced[job.key()] = logical[job.key()]
+        for slot in (current, sticky):
+            job = slot[processor]
+            if job is not None and not job.is_finished:
+                referenced[job.key()] = logical[job.key()]
+        for job in pending[processor]:
+            if not job.is_finished:
+                referenced[job.key()] = logical[job.key()]
+
+    for entry in referenced.values():
+        for copy in entry.copies:
+            copy.release += shift
+            copy.deadline += shift
+            copy.enqueue_time += shift
+            if copy.completion_time is not None:
+                copy.completion_time += shift
+            if copy.started_at is not None:
+                copy.started_at += shift
+            copy.job_index += rel_shifts[copy.task_index]
+            key = copy.queue_key
+            if len(key) == 2:
+                copy.queue_key = (copy.task_index, copy.job_index)
+            else:
+                copy.queue_key = (key[0], copy.task_index, copy.job_index)
+
+    logical.clear()
+    for (task, job_index), entry in referenced.items():
+        logical[(task, job_index + rel_shifts[task])] = entry
+
+    heap[:] = [
+        (
+            time + shift,
+            kind,
+            seq,
+            a,
+            b + rel_shifts[a] if kind == EV_DEADLINE else b,
+        )
+        for time, kind, seq, a, b in heap
+    ]
+
+    for processor in (0, 1):
+        mjq[processor].rekey_live()
+        ojq[processor].rekey_live()

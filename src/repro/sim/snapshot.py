@@ -1,0 +1,238 @@
+"""Canonical engine-state capture for cycle folding.
+
+A fixed-priority schedule of strictly periodic tasks is itself periodic
+once the scheduler's state recurs: if the complete dynamic state at one
+hyperperiod boundary equals the state at a later boundary, the schedule
+in between repeats verbatim for every following cycle (the engine is
+deterministic and, with faults off the table, receives no external
+input).  Goossens's exact (m,k)/DBP analysis and the multiprocessor
+feasibility literature rest on the same state-recurrence argument.
+
+This module defines what "the complete dynamic state" means for
+:class:`~repro.sim.engine.StandbySparingEngine` and renders it as a
+hashable value that is *time-translation invariant*: every absolute tick
+is stored relative to the boundary and every job index relative to the
+number of jobs the owning task has released by the boundary.  Two
+boundaries with equal canonical states therefore evolve identically up
+to a uniform time shift, which is exactly the property cycle folding
+(:mod:`repro.sim.folding`) needs.
+
+Captured components:
+
+* processor liveness and the dead-processor index;
+* per-task (m,k)-history windows (they drive flexibility degrees) and
+  the stats tracker windows (they drive violation counting);
+* both ready queues per processor, in priority order, with canonical
+  priority keys;
+* the running and sticky job of each processor, plus whether they are
+  the same copy (the dispatcher's hold-the-processor test is an identity
+  test);
+* every logical job that can still influence the future: those with a
+  pending deadline event or a live copy, including each copy's full
+  scheduling state and sibling linkage;
+* the pending event multiset (deadlines and not-yet-fired enqueues),
+  with relative times;
+* an opaque policy signature (see ``SchedulingPolicy.fold_state``)
+  covering mutable policy state and static-pattern phase.
+
+Cumulative counters (energy, busy ticks, met/missed counts) are
+deliberately *excluded*: they are the ledger being folded, not part of
+the recurring state.
+
+Per-processor idle-gap cursor offsets (how long the currently open idle
+gap has been running) are also excluded, deliberately: gap history never
+influences a scheduling decision, so the schedule repeats regardless --
+but the *ledger* fold of gap lengths is only exact when the offsets
+agree for every processor that closes a gap during the cycle (the
+boundary-crossing first gap's length includes the offset).  The engine
+checks that side condition against the ledger's busy deltas at match
+time instead of baking the offsets into the key; keying on them would
+make a processor that idles forever (offset growing every cycle)
+unmatchable and defeat folding entirely.
+
+``capture_state`` returns ``None`` when the state cannot be proven
+recurrence-safe -- most importantly while a permanent-fault event is
+still pending, since an exogenous fault breaks periodicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.job import Job
+
+# Event kinds double as the ordering at equal ticks: permanent faults
+# strike first, then deadlines are judged, then new jobs arrive, then
+# postponed copies enqueue.  Defined here (not in engine.py) so the
+# folding machinery can interpret heap entries without importing the
+# engine.
+EV_PERMFAULT = 0
+EV_DEADLINE = 1
+EV_RELEASE = 2
+EV_ENQUEUE = 3
+
+#: Canonical stand-in for "no job" in slot captures (kept orderable
+#: against job tuples only through position, never compared).
+_NO_JOB = ()
+
+
+def canonical_key(key: tuple, rel_base: Sequence[int]) -> tuple:
+    """A queue priority key with its job index made boundary-relative.
+
+    Mandatory keys are ``(task, job)``; optional keys are
+    ``(fd, task, job)``.  Only the trailing job index is absolute.
+    """
+    if len(key) == 2:
+        task, job = key
+        return (task, job - rel_base[task])
+    fd, task, job = key
+    return (fd, task, job - rel_base[task])
+
+
+def canonical_job(job: Job, now: int, rel_base: Sequence[int]) -> tuple:
+    """One copy's behavioural state, relative to the boundary ``now``.
+
+    ``started_at``, ``completion_time``, ``faulted`` and ``name`` are
+    excluded: the first two are reporting-only in stats mode, transient
+    faults disable folding entirely, and names are cosmetic.
+    """
+    task = job.task_index
+    return (
+        task,
+        job.job_index - rel_base[task],
+        job.role.value,
+        job.release - now,
+        job.deadline - now,
+        job.enqueue_time - now,
+        job.wcet,
+        job.remaining,
+        job.status.value,
+        job.processor,
+        canonical_key(job.queue_key, rel_base),
+    )
+
+
+def _canonical_entry(entry, now: int, rel_base: Sequence[int]) -> tuple:
+    """A logical job's state: decision flag + copies with sibling links."""
+    copies = entry.copies
+    index_of = {id(copy): position for position, copy in enumerate(copies)}
+    rendered = tuple(
+        canonical_job(copy, now, rel_base)
+        + (
+            index_of.get(id(copy.sibling), -1)
+            if copy.sibling is not None
+            else -1,
+        )
+        for copy in copies
+    )
+    return (entry.decided, rendered)
+
+
+def _canonical_queue(queue, now: int, rel_base: Sequence[int]) -> tuple:
+    """Live queue contents in dispatch order with canonical keys.
+
+    The dispatch order is (key, insertion seq); canonicalizing the key
+    preserves relative order because the per-task job-index shift is
+    monotone and the leading key components (task / flexibility degree)
+    dominate the comparison across tasks.
+    """
+    return tuple(
+        (canonical_key(key, rel_base), canonical_job(job, now, rel_base))
+        for key, _seq, job in queue.ordered_live()
+    )
+
+
+def _canonical_slot(job: Optional[Job], now: int, rel_base: Sequence[int]):
+    if job is None or job.is_finished:
+        return _NO_JOB
+    return canonical_job(job, now, rel_base)
+
+
+def capture_state(
+    now: int,
+    period_ticks: Sequence[int],
+    alive: Sequence[bool],
+    dead_processor: Optional[int],
+    histories,
+    tracker_windows: Sequence[tuple],
+    heap: List[tuple],
+    mjq,
+    ojq,
+    current: Sequence[Optional[Job]],
+    sticky: Sequence[Optional[Job]],
+    logical: Dict[Tuple[int, int], object],
+    policy_signature,
+) -> Optional[tuple]:
+    """The canonical state at hyperperiod boundary ``now``, or None.
+
+    Returns None when the state is not recurrence-safe: a permanent
+    fault is still pending, or an unknown event kind is in flight.
+    ``policy_signature`` must already be known non-None (the engine
+    checks ``fold_state`` before calling).
+    """
+    rel_base = [now // period for period in period_ticks]
+
+    events = []
+    live_keys = set()
+    for time, kind, _seq, a, b in heap:
+        if kind == EV_DEADLINE:
+            events.append((time - now, kind, a, b - rel_base[a]))
+            live_keys.add((a, b))
+        elif kind == EV_ENQUEUE:
+            # Enqueue events whose copy already finished (e.g. LOST at a
+            # permanent fault) are pure no-ops when they fire; leaving
+            # them out lets the steady state match sooner.
+            if not a.is_finished:
+                events.append(
+                    (time - now, kind, canonical_job(a, now, rel_base), 0)
+                )
+                live_keys.add(a.key())
+        else:
+            # A pending permanent fault (or anything unrecognized) makes
+            # the future non-periodic: refuse to snapshot.
+            return None
+    events.sort()
+
+    queues = []
+    for processor in (0, 1):
+        for family in (mjq, ojq):
+            queue = family[processor]
+            queues.append(_canonical_queue(queue, now, rel_base))
+            for job in queue.live_jobs():
+                live_keys.add(job.key())
+
+    slots = []
+    for processor in (0, 1):
+        running = current[processor]
+        held = sticky[processor]
+        for job in (running, held):
+            if job is not None and not job.is_finished:
+                live_keys.add(job.key())
+        slots.append(
+            (
+                _canonical_slot(running, now, rel_base),
+                _canonical_slot(held, now, rel_base),
+                running is not None and running is held,
+            )
+        )
+
+    entries = tuple(
+        (
+            task,
+            job - rel_base[task],
+            _canonical_entry(logical[(task, job)], now, rel_base),
+        )
+        for task, job in sorted(live_keys)
+    )
+
+    return (
+        tuple(alive),
+        dead_processor,
+        tuple(history.outcomes() for history in histories),
+        tuple(tracker_windows),
+        tuple(queues),
+        tuple(slots),
+        entries,
+        tuple(events),
+        policy_signature,
+    )

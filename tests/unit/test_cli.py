@@ -71,6 +71,46 @@ class TestCommands:
         )
         assert "primary" not in capsys.readouterr().out
 
+    def test_simulate_fold_reports_cycles(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--preset",
+                "fig5",
+                "--fold",
+                "--horizon",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles folded: 1" in out
+        assert "primary" not in out  # no Gantt without a trace
+
+    def test_simulate_no_trace_matches_trace_run(self, capsys):
+        args = ["simulate", "--preset", "fig1", "--no-gantt", "--horizon", "20"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--no-trace"]) == 0
+        stats = capsys.readouterr().out
+        assert plain == stats
+
+    def test_simulate_no_trace_rejects_export(self, capsys, tmp_path):
+        code = main(
+            [
+                "simulate",
+                "--preset",
+                "fig1",
+                "--no-trace",
+                "--horizon",
+                "20",
+                "--export",
+                str(tmp_path / "trace.json"),
+            ]
+        )
+        assert code == 2
+        assert "needs an execution trace" in capsys.readouterr().err
+
     def test_simulate_unknown_scheme_errors(self, capsys):
         code = main(
             ["simulate", "--preset", "fig1", "--scheme", "MKSS_Nope"]
@@ -139,6 +179,40 @@ class TestCommands:
             if "jobs skipped (journal)" in line
         ]
         assert skipped and "3" in skipped[0]
+
+    def test_sweep_fold_flag(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--bins",
+                "0.4:0.5",
+                "--sets-per-bin",
+                "1",
+                "--horizon",
+                "300",
+                "--fold",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[0.4,0.5)" in out
+        assert "cycles folded:" in out
+
+    def test_sweep_no_trace_same_table(self, capsys):
+        args = [
+            "sweep",
+            "--bins",
+            "0.4:0.5",
+            "--sets-per-bin",
+            "2",
+            "--horizon",
+            "300",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--no-trace"]) == 0
+        stats = capsys.readouterr().out
+        assert plain == stats
 
     def test_sweep_resume_mismatched_journal_errors(self, capsys, tmp_path):
         journal = tmp_path / "sweep.jsonl"

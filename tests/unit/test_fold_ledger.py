@@ -1,0 +1,121 @@
+"""Unit tests for the fold ledger (:mod:`repro.sim.folding`) and the
+stats-mode surface of :class:`~repro.sim.engine.SimulationResult`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSSelective
+from repro.sim.engine import StandbySparingEngine
+from repro.sim.folding import RunStats
+
+
+class TestRunStats:
+    def make(self):
+        stats = RunStats(2)
+        stats.busy = [10, 4]
+        stats.gap_counts = [{3: 2, 5: 1}, {7: 1}]
+        stats.released = 12
+        stats.effective = 9
+        stats.missed = 1
+        stats.mandatory = 5
+        stats.optional_executed = 4
+        stats.skipped = 2
+        stats.violations = [1, 0]
+        return stats
+
+    def test_copy_is_independent(self):
+        stats = self.make()
+        dup = stats.copy()
+        dup.busy[0] += 100
+        dup.gap_counts[0][3] = 99
+        dup.violations[1] += 1
+        assert stats.busy == [10, 4]
+        assert stats.gap_counts[0] == {3: 2, 5: 1}
+        assert stats.violations == [1, 0]
+
+    def test_fold_scales_deltas_only(self):
+        base = self.make()
+        stats = base.copy()
+        # One cycle's worth of progress on top of the baseline.
+        stats.busy = [16, 6]
+        stats.gap_counts = [{3: 3, 5: 1, 2: 1}, {7: 2}]
+        stats.released = 18
+        stats.effective = 13
+        stats.missed = 2
+        stats.mandatory = 8
+        stats.optional_executed = 5
+        stats.skipped = 3
+        stats.violations = [1, 2]
+        stats.fold(base, 4)
+        # value + delta * 4 for every counter.
+        assert stats.busy == [16 + 6 * 4, 6 + 2 * 4]
+        assert stats.gap_counts[0] == {3: 3 + 1 * 4, 5: 1, 2: 1 + 1 * 4}
+        assert stats.gap_counts[1] == {7: 2 + 1 * 4}
+        assert stats.released == 18 + 6 * 4
+        assert stats.effective == 13 + 4 * 4
+        assert stats.missed == 2 + 1 * 4
+        assert stats.mandatory == 8 + 3 * 4
+        assert stats.optional_executed == 5 + 1 * 4
+        assert stats.skipped == 3 + 1 * 4
+        assert stats.violations == [1, 2 + 2 * 4]
+
+    def test_fold_mutates_lists_in_place(self):
+        """The engine's hot loop aliases busy and gap_counts."""
+        base = self.make()
+        stats = base.copy()
+        busy_ref = stats.busy
+        gaps_ref = stats.gap_counts
+        stats.busy[0] += 6
+        stats.fold(base, 2)
+        assert stats.busy is busy_ref
+        assert stats.gap_counts is gaps_ref
+        assert busy_ref[0] == 16 + 6 * 2
+
+
+class TestStatsModeResult:
+    @pytest.fixture
+    def taskset(self):
+        return TaskSet(
+            [
+                Task(5, 5, 1, 1, 2),
+                Task(10, 10, 2, 1, 2),
+            ]
+        )
+
+    def run(self, taskset, **kwargs):
+        return StandbySparingEngine(
+            taskset, MKSSSelective(), 40, **kwargs
+        ).run()
+
+    def test_busy_ticks_from_counters(self, taskset):
+        trace_run = self.run(taskset)
+        stats_run = self.run(taskset, collect_trace=False)
+        assert stats_run.busy_by_processor is not None
+        assert stats_run.busy_ticks() == trace_run.busy_ticks()
+        assert stats_run.busy_ticks(0) == trace_run.busy_ticks(0)
+        assert stats_run.busy_ticks(1) == trace_run.busy_ticks(1)
+        assert stats_run.busy_ticks(7) == 0
+
+    def test_mk_satisfied_cached_and_copied(self, taskset):
+        result = self.run(taskset, collect_trace=False)
+        first = result.mk_satisfied()
+        second = result.mk_satisfied()
+        assert first == second
+        first[0] = not first[0]  # caller mutation must not poison the cache
+        assert result.mk_satisfied() == second
+
+    def test_stats_mode_has_no_trace(self, taskset):
+        result = self.run(taskset, collect_trace=False)
+        assert result.trace is None
+        assert result.stats is not None
+        assert result.stats.released == result.released_jobs
+
+    def test_fold_with_trace_rejected_at_construction(self, taskset):
+        with pytest.raises(ConfigurationError):
+            StandbySparingEngine(
+                taskset, MKSSSelective(), 40, collect_trace=True, fold=True
+            )

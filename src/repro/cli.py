@@ -7,6 +7,9 @@ Commands:
 * ``simulate`` -- run one scheme on a task set and print the Gantt chart,
   energy, and QoS metrics.
 * ``sweep``    -- a Figure 6 panel (choose the fault scenario).
+* ``validate`` -- run the conformance auditor on a task set: model-level
+  schedule invariants, each scheme's declared invariant suite, DPD
+  legality, and the cross-mode (trace vs stats vs folded) differential.
 * ``examples`` -- list the paper's preset task sets.
 
 Task sets are given inline as semicolon-separated five-tuples, e.g.::
@@ -203,8 +206,20 @@ def cmd_sweep(args) -> int:
         events=log,
         collect_trace=collect_trace,
         fold=args.fold,
+        validate=args.validate,
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
+    if args.validate:
+        audited = len(log.of_kind("validate"))
+        print(
+            f"validation: {audited} audit(s), "
+            f"{len(sweep.validation_issues)} issue(s)"
+        )
+        for item in sweep.validation_issues:
+            print(
+                f"  {item.job} {item.scheme} [{item.mode}] "
+                f"{item.issue.kind}: {item.issue.detail}"
+            )
     if args.fold:
         folded = [
             event.data["cycles_folded"]
@@ -226,7 +241,60 @@ def cmd_sweep(args) -> int:
     if args.journal or args.events or args.workers > 1:
         print()
         print(format_event_summary(log))
-    return 0
+    return 0 if not sweep.validation_issues else 1
+
+
+def cmd_validate(args) -> int:
+    from .faults.scenario import FaultScenario
+    from .harness.validate import AUDIT_MODES, audit_scheme
+
+    taskset = _resolve_taskset(args)
+    if args.scheme:
+        if args.scheme not in SCHEME_FACTORIES:
+            raise ReproError(
+                f"unknown scheme {args.scheme!r}; known: "
+                f"{sorted(SCHEME_FACTORIES)}"
+            )
+        schemes = [args.scheme]
+    else:
+        schemes = sorted(SCHEME_FACTORIES)
+    modes = tuple(
+        mode.strip() for mode in args.modes.split(",") if mode.strip()
+    )
+    unknown = [mode for mode in modes if mode not in AUDIT_MODES]
+    if unknown:
+        raise ReproError(
+            f"unknown mode(s) {unknown}; known: {list(AUDIT_MODES)}"
+        )
+    if args.faults == "permanent":
+        scenario = FaultScenario.permanent_only(seed=args.seed)
+    elif args.faults == "transient":
+        scenario = FaultScenario.permanent_and_transient(seed=args.seed)
+    else:
+        scenario = None
+    total = 0
+    for scheme in schemes:
+        report = audit_scheme(
+            taskset,
+            scheme,
+            scenario=scenario,
+            horizon_cap_units=args.horizon,
+            modes=modes,
+        )
+        verdicts = "  ".join(
+            f"{audit.mode}: {'ok' if audit.ok else f'{len(audit.issues)} issue(s)'}"
+            for audit in report.modes
+        )
+        print(f"{scheme:24s} {verdicts}")
+        for audit in report.modes:
+            for issue in audit.issues:
+                total += 1
+                print(f"  [{audit.mode}] {issue.kind}: {issue.detail}")
+    print(
+        f"audited {len(schemes)} scheme(s) x {len(modes)} mode(s): "
+        f"{total} issue(s)"
+    )
+    return 0 if total == 0 else 1
 
 
 def cmd_examples(args) -> int:
@@ -341,7 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the cycle-folding fast path in every job (implies "
         "--no-trace); per-job fold counts land on job_finish events",
     )
+    sweep.add_argument(
+        "--validate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the conformance auditor on N sampled task sets (every "
+        "scheme, trace + stats modes, + fold when folding); issues are "
+        "printed, recorded as events, and make the command exit nonzero",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    validate = sub.add_parser(
+        "validate",
+        help="audit schedule/energy conformance of scheme runs",
+    )
+    validate.add_argument("--tasks", help='"P,D,C,m,k; ..." inline task set')
+    validate.add_argument("--tasks-file", help="JSON task-set file")
+    validate.add_argument("--preset", help="fig1 | fig3 | fig5")
+    validate.add_argument(
+        "--scheme", default="", help="scheme name (default: every scheme)"
+    )
+    validate.add_argument(
+        "--horizon", type=int, default=2000, help="horizon cap in time units"
+    )
+    validate.add_argument(
+        "--modes",
+        default="trace,stats,fold",
+        help="comma-separated audit modes (trace, stats, fold)",
+    )
+    validate.add_argument(
+        "--faults",
+        choices=("none", "permanent", "transient"),
+        default="none",
+        help="fault scenario to audit under (seeded, reproducible)",
+    )
+    validate.add_argument(
+        "--seed", type=int, default=20200309, help="fault scenario seed"
+    )
+    validate.set_defaults(func=cmd_validate)
 
     examples = sub.add_parser("examples", help="list the paper's presets")
     examples.set_defaults(func=cmd_examples)

@@ -30,11 +30,20 @@ def shutdown_decision(gap_units: Fraction, model: PowerModel) -> bool:
     sleep both free) only applies when the transition itself is also free:
     with ``transition_energy > 0`` sleeping is a strict net loss and the
     processor stays idle.
+
+    The comparison is carried out in exact :class:`~fractions.Fraction`
+    arithmetic (floats convert to Fractions losslessly): converting the
+    gap to float instead would round huge or very fine-grained gaps and
+    could flip the decision near the cost crossover -- and overflow
+    outright for gaps beyond float range.
     """
     if gap_units <= model.break_even:
         return False
-    sleep_cost = model.sleep_power * float(gap_units) + model.transition_energy
-    idle_cost = model.idle_power * float(gap_units)
+    sleep_cost = (
+        Fraction(model.sleep_power) * gap_units
+        + Fraction(model.transition_energy)
+    )
+    idle_cost = Fraction(model.idle_power) * gap_units
     return sleep_cost < idle_cost or (
         model.transition_energy == 0.0
         and model.idle_power == model.sleep_power == 0.0

@@ -7,9 +7,11 @@ from .sweep import (
     DroppedSet,
     ExecutionPolicy,
     SweepResult,
+    SweepValidation,
     execute_jobs,
     utilization_sweep,
 )
+from .validate import AuditReport, ModeAudit, audit_scheme, conformance_spec
 from .events import EventLog, SweepEvent
 from .journal import RunJournal
 from .figures import (
@@ -31,8 +33,13 @@ __all__ = [
     "DroppedSet",
     "ExecutionPolicy",
     "SweepResult",
+    "SweepValidation",
     "execute_jobs",
     "utilization_sweep",
+    "AuditReport",
+    "ModeAudit",
+    "audit_scheme",
+    "conformance_spec",
     "EventLog",
     "SweepEvent",
     "RunJournal",

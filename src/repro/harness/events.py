@@ -20,6 +20,9 @@ kind                      payload keys
 :data:`JOB_DROP`          ``job``, ``attempt``, ``reason``, ``progress``
 :data:`JOB_SKIP`          ``job``, ``progress`` (already in the journal)
 :data:`POOL_RESPAWN`      ``pending`` (jobs resubmitted to the new pool)
+:data:`VALIDATE`          ``job``, ``scheme``, ``modes``, ``issues``
+:data:`VALIDATION_ISSUE`  ``job``, ``scheme``, ``mode``, ``issue_kind``,
+                          ``detail``
 :data:`RUN_FINISH`        ``completed``, ``dropped``
 ========================  ====================================================
 
@@ -42,6 +45,8 @@ JOB_RETRY = "job_retry"
 JOB_DROP = "job_drop"
 JOB_SKIP = "job_skip"
 POOL_RESPAWN = "pool_respawn"
+VALIDATE = "validate"
+VALIDATION_ISSUE = "validation_issue"
 RUN_FINISH = "run_finish"
 
 #: Every kind the harness emits, in rough lifecycle order.
@@ -53,6 +58,8 @@ EVENT_KINDS = (
     JOB_DROP,
     JOB_SKIP,
     POOL_RESPAWN,
+    VALIDATE,
+    VALIDATION_ISSUE,
     RUN_FINISH,
 )
 

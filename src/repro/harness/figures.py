@@ -90,6 +90,7 @@ def _run_panel(
     events=None,
     collect_trace: bool = True,
     fold: bool = False,
+    validate: int = 0,
 ) -> SweepResult:
     return utilization_sweep(
         bins=bins,
@@ -107,6 +108,7 @@ def _run_panel(
         events=events,
         collect_trace=collect_trace,
         fold=fold,
+        validate=validate,
     )
 
 

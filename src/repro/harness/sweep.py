@@ -59,6 +59,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
 from ..model.taskset import TaskSet
+from ..sim.validation import ValidationIssue
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
 from .events import (
     JOB_DROP,
@@ -69,11 +70,14 @@ from .events import (
     POOL_RESPAWN,
     RUN_FINISH,
     RUN_START,
+    VALIDATE,
+    VALIDATION_ISSUE,
     EventLog,
 )
 from .journal import RunJournal
 from .runner import PAPER_SCHEMES, SCHEME_FACTORIES, run_scheme
 from .stats import confidence_interval95, mean
+from .validate import audit_scheme
 
 ScenarioFactory = Callable[[int], FaultScenario]
 """Builds the fault scenario for the task set with the given global index
@@ -560,6 +564,16 @@ class DroppedSet:
         return f"[{self.bin_range[0]:g},{self.bin_range[1]:g}) set {self.index}"
 
 
+@dataclass(frozen=True)
+class SweepValidation:
+    """One conformance issue found by the sweep's ``validate`` sampling."""
+
+    job: str
+    scheme: str
+    mode: str
+    issue: ValidationIssue
+
+
 @dataclass
 class SweepResult:
     """Results of a full utilization sweep."""
@@ -569,6 +583,7 @@ class SweepResult:
     bins: List[BinResult] = field(default_factory=list)
     dropped: List[DroppedSet] = field(default_factory=list)
     run_id: Optional[str] = None
+    validation_issues: List[SweepValidation] = field(default_factory=list)
 
     def series(self, scheme: str) -> List[Tuple[str, float]]:
         """(bin label, normalized energy) pairs for one scheme."""
@@ -654,6 +669,7 @@ def utilization_sweep(
     events: Optional[EventLog] = None,
     collect_trace: bool = True,
     fold: bool = False,
+    validate: int = 0,
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -692,6 +708,14 @@ def utilization_sweep(
             (requires ``collect_trace=False``).  Fold counts surface as
             ``cycles_folded`` on JOB_FINISH events; journal payloads are
             unchanged.
+        validate: sample up to this many aggregated task sets (evenly
+            across the sweep) and run the conformance auditor
+            (:func:`~repro.harness.validate.audit_scheme`) on every
+            scheme for each -- trace and stats modes, plus fold when the
+            sweep folds.  Findings land in
+            :attr:`SweepResult.validation_issues` and are emitted as
+            VALIDATE / VALIDATION_ISSUE events.  0 (default) disables
+            sampling.
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -711,6 +735,8 @@ def utilization_sweep(
             "fold=True requires collect_trace=False (folding is exact "
             "for aggregate stats, not for traces)"
         )
+    if validate < 0:
+        raise ConfigurationError(f"validate must be >= 0, got {validate}")
     policy = ExecutionPolicy(
         job_timeout=job_timeout,
         max_retries=max_retries,
@@ -879,6 +905,61 @@ def utilization_sweep(
                 energy_ci95=intervals,
             )
         )
+    if validate:
+        # Conformance spot-checks on a deterministic, evenly spaced
+        # sample of the aggregated sets.  Runs inline in the parent (the
+        # auditor needs traces and performs its own differential
+        # re-runs); dropped pairs are excluded -- their runs never
+        # entered the aggregates.
+        audit_modes = ("trace", "stats") + (("fold",) if fold else ())
+        candidates: List[Tuple[Tuple[float, float], int, int, TaskSet]] = []
+        audit_counter = 0
+        for bin_range in bins:
+            key = tuple(bin_range)
+            for index, taskset in enumerate(tasksets_by_bin.get(key, [])):
+                if audit_counter not in failures:
+                    candidates.append((key, index, audit_counter, taskset))
+                audit_counter += 1
+        step = max(1, len(candidates) // validate)
+        for key, index, counter, taskset in candidates[::step][:validate]:
+            scenario = (
+                scenario_factory(counter) if scenario_factory else None
+            )
+            label = f"u{key[0]:g}-{key[1]:g}|set{index}"
+            for scheme in schemes:
+                report = audit_scheme(
+                    taskset,
+                    scheme,
+                    scenario=scenario,
+                    horizon_cap_units=horizon_cap_units,
+                    modes=audit_modes,
+                )
+                log.emit(
+                    VALIDATE,
+                    job=label,
+                    scheme=scheme,
+                    modes=list(audit_modes),
+                    issues=len(report.issues),
+                )
+                for audit in report.modes:
+                    for issue in audit.issues:
+                        sweep.validation_issues.append(
+                            SweepValidation(
+                                job=label,
+                                scheme=scheme,
+                                mode=audit.mode,
+                                issue=issue,
+                            )
+                        )
+                        log.emit(
+                            VALIDATION_ISSUE,
+                            job=label,
+                            scheme=scheme,
+                            mode=audit.mode,
+                            issue_kind=issue.kind,
+                            detail=issue.detail,
+                        )
+
     log.emit(
         RUN_FINISH,
         completed=sum(1 for outcome in results if outcome[0] == OK),

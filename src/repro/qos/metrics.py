@@ -7,7 +7,7 @@ from typing import Dict
 
 from ..model.job import JobOutcome
 from ..sim.engine import SimulationResult
-from .monitor import verify_mk
+from .monitor import count_mk_violations
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ def collect_metrics(result: SimulationResult) -> QoSMetrics:
             mandatory=stats.mandatory,
             optional_executed=stats.optional_executed,
             skipped=stats.skipped,
-            mk_violations=sum(stats.violations),
+            mk_violations=count_mk_violations(result),
             transient_faults=result.transient_fault_count,
         )
     effective = 0
@@ -102,6 +102,6 @@ def collect_metrics(result: SimulationResult) -> QoSMetrics:
         mandatory=mandatory,
         optional_executed=optional_executed,
         skipped=skipped,
-        mk_violations=len(verify_mk(result)),
+        mk_violations=count_mk_violations(result),
         transient_faults=result.transient_fault_count,
     )

@@ -87,3 +87,20 @@ def verify_mk(result: SimulationResult) -> List[MKViolation]:
             monitor.record(effective, task_index=index)
         violations.extend(monitor.violations)
     return violations
+
+
+def count_mk_violations(result: SimulationResult) -> int:
+    """Number of violated (m,k) windows in a run, regardless of mode.
+
+    The single counting definition shared by every consumer: trace runs
+    replay the recorded outcomes through :func:`verify_mk`; stats-only
+    runs sum the engine's per-task online window counters, which track
+    the same sliding windows.  Both paths count one violation per job
+    index that closes a window with fewer than m successes.
+    """
+    if result.trace is None:
+        stats = result.stats
+        if stats is None:  # pragma: no cover - engine fills one of the two
+            raise ValueError("result has neither trace nor stats")
+        return sum(stats.violations)
+    return len(verify_mk(result))

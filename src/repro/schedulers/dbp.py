@@ -30,6 +30,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class DistanceBasedPriority(SchedulingPolicy):
@@ -72,6 +73,21 @@ class DistanceBasedPriority(SchedulingPolicy):
         return ReleasePlan(
             copies=(CopySpec(JobRole.OPTIONAL, processor, release),),
             classified_as="optional",
+        )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # FD classification, single copy, no backups; the energy-aware
+        # variant only runs optionals within two misses of failure.
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(
+                    classification="fd",
+                    optional_fd_max=None if self._run_all else 2,
+                )
+                for _ in ctx.taskset
+            ),
+            max_copies=1,
         )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):

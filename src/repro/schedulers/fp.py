@@ -16,6 +16,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class SingleProcessorFP(SchedulingPolicy):
@@ -41,6 +42,16 @@ class SingleProcessorFP(SchedulingPolicy):
         return ReleasePlan(
             copies=(CopySpec(JobRole.MAIN, processor, release),),
             classified_as="mandatory",
+        )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # Every job mandatory, single copy, no backups, no postponement.
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(classification="all") for _ in ctx.taskset
+            ),
+            max_copies=1,
         )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):

@@ -28,6 +28,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class MKSSGreedy(SchedulingPolicy):
@@ -92,6 +93,23 @@ class MKSSGreedy(SchedulingPolicy):
                 CopySpec(JobRole.OPTIONAL, self._optional_processor, release),
             ),
             classified_as="optional",
+        )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # FD classification; *every* FD >= 1 job may run as an optional
+        # (the greedy rule), backups postponed by the promotion time.
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(
+                    classification="fd",
+                    optional_fd_max=None,
+                    backup_offset=self._promotions[index],
+                    postfault_main_offset=(0, self._promotions[index]),
+                )
+                for index in range(len(ctx.taskset))
+            ),
+            optional_preemption=self.optional_preemption,
         )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):

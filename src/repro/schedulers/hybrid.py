@@ -44,6 +44,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 def selective_execution_rate(mk: MKConstraint) -> Fraction:
@@ -188,6 +189,34 @@ class MKSSHybrid(SchedulingPolicy):
             ),
             classified_as="mandatory",
         )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # Selective-mode tasks follow Algorithm 1 (FD rule, optionals at
+        # FD = 1 only); DP-mode tasks follow their static R-pattern and
+        # never run optionals.  Both postpone backups by θ_i and use the
+        # Y_i survivor offset post-fault.
+        tasks = []
+        for index in range(len(ctx.taskset)):
+            shared = dict(
+                backup_offset=self._postponements[index],
+                postfault_main_offset=(0, self._promotions[index]),
+            )
+            if self._selective_mode[index]:
+                tasks.append(
+                    TaskConformance(
+                        classification="fd", optional_fd_max=1, **shared
+                    )
+                )
+            else:
+                tasks.append(
+                    TaskConformance(
+                        classification="pattern",
+                        pattern=self._patterns[index],
+                        optional_fd_max=0,
+                        **shared,
+                    )
+                )
+        return ConformanceSpec(scheme=self.name, tasks=tuple(tasks))
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Mutable state: per-task optional-processor alternation plus the

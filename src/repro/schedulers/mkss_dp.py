@@ -32,6 +32,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class MKSSDualPriority(SchedulingPolicy):
@@ -142,6 +143,30 @@ class MKSSDualPriority(SchedulingPolicy):
             ),
             classified_as="mandatory",
         )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # Pattern classification, no optionals, backups postponed by the
+        # promotion time Y_i (Equation 2).  Post-fault, a task whose main
+        # lived on the survivor keeps releasing at r; one whose *backup*
+        # lived there keeps the Y_i postponement.
+        assert self._patterns is not None
+        tasks = []
+        for index, pattern in enumerate(self._patterns):
+            promotion = self._promotions[index]
+            main_proc = self.main_processor(index)
+            tasks.append(
+                TaskConformance(
+                    classification="pattern",
+                    pattern=pattern,
+                    optional_fd_max=0,
+                    backup_offset=promotion,
+                    postfault_main_offset=(
+                        0 if main_proc == PRIMARY else promotion,
+                        0 if main_proc == SPARE else promotion,
+                    ),
+                )
+            )
+        return ConformanceSpec(scheme=self.name, tasks=tuple(tasks))
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Promotions and main placement are fixed at prepare(); the only

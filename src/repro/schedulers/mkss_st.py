@@ -27,6 +27,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class MKSSStatic(SchedulingPolicy):
@@ -73,6 +74,24 @@ class MKSSStatic(SchedulingPolicy):
                 CopySpec(JobRole.BACKUP, SPARE, release),
             ),
             classified_as="mandatory",
+        )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # Pattern classification, never an optional, both copies released
+        # together (no procrastination): backup offset 0, post-fault
+        # mandatory releases land on the survivor immediately.
+        assert self._patterns is not None
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(
+                    classification="pattern",
+                    pattern=pattern,
+                    optional_fd_max=0,
+                    backup_offset=0,
+                )
+                for pattern in self._patterns
+            ),
         )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):

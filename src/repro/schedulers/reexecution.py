@@ -33,6 +33,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class ReExecutionFP(SchedulingPolicy):
@@ -94,6 +95,21 @@ class ReExecutionFP(SchedulingPolicy):
             return None  # the recovery could never finish in time
         self._recovery_counts[key] = used + 1
         return CopySpec(job.role, self._target(ctx), now)
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # FD classification, no backups; each logical job may execute up
+        # to 1 + max_recoveries copies' worth of work.
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(
+                    classification="fd",
+                    optional_fd_max=self.fd_threshold,
+                )
+                for _ in ctx.taskset
+            ),
+            max_copies=1 + self.max_recoveries,
+        )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Recovery budgets only accrue after transient faults, and the

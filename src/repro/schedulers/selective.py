@@ -44,6 +44,7 @@ from ..sim.engine import (
     ReleasePlan,
     SchedulingPolicy,
 )
+from ..sim.validation import ConformanceSpec, TaskConformance
 
 
 class MKSSSelective(SchedulingPolicy):
@@ -154,6 +155,24 @@ class MKSSSelective(SchedulingPolicy):
         return ReleasePlan(
             copies=(CopySpec(JobRole.OPTIONAL, processor, release),),
             classified_as="optional",
+        )
+
+    def conformance(self, ctx: PolicyContext) -> ConformanceSpec:
+        # FD classification (mandatory iff FD = 0), optionals only within
+        # [1, fd_threshold], backups postponed by θ_i (or Y_i without
+        # theta postponement); post-fault mandatory releases on the spare
+        # are offset by Y_i, on the primary by 0.
+        return ConformanceSpec(
+            scheme=self.name,
+            tasks=tuple(
+                TaskConformance(
+                    classification="fd",
+                    optional_fd_max=self.fd_threshold,
+                    backup_offset=self._postponements[index],
+                    postfault_main_offset=(0, self._promotions[index]),
+                )
+                for index in range(len(ctx.taskset))
+            ),
         )
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):

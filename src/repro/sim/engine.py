@@ -207,6 +207,19 @@ class SchedulingPolicy:
         return None
 
 
+    def conformance(self, ctx: PolicyContext):
+        """Scheme-specific invariant suite for the conformance auditor.
+
+        Called on a *prepared* policy (after :meth:`prepare`) with a
+        context matching the audited run.  Returning a
+        :class:`~repro.sim.validation.ConformanceSpec` opts the policy
+        into the scheme-aware checks of
+        :func:`repro.sim.validation.audit_result` -- classification
+        rules, backup postponement offsets, queue-priority conformance.
+        The default None means only the model-level checks apply.
+        """
+        return None
+
     def fold_state_from_patterns(
         self, patterns, pattern_phases: Tuple[int, ...]
     ):

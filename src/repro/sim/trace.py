@@ -194,18 +194,24 @@ class ExecutionTrace:
     def validate(self) -> None:
         """Assert trace invariants: no overlapping segments per processor.
 
+        Tracks the running *maximum* end over the start-sorted segments:
+        remembering only the previous segment's end would let a segment
+        nested inside an earlier, longer one reset the watermark and hide
+        a later overlap.
+
         Raises:
             SimulationError: when two segments on one processor overlap.
         """
         for processor in range(self.processor_count):
-            previous_end = None
+            max_end = None
             for segment in self.segments_on(processor):
-                if previous_end is not None and segment.start < previous_end:
+                if max_end is not None and segment.start < max_end:
                     raise SimulationError(
                         f"overlapping segments on processor {processor} at "
                         f"tick {segment.start}"
                     )
-                previous_end = segment.end
+                if max_end is None or segment.end > max_end:
+                    max_end = segment.end
 
     def outcomes_for_task(self, task_index: int) -> List[bool]:
         """Per-job effectiveness flags of one task, in job order."""

@@ -1,0 +1,202 @@
+"""Unit tests for the scheme-aware conformance auditor.
+
+The seeded-mutation tests each corrupt one real run in one precise way
+and assert the auditor reports exactly the matching issue kind -- no
+misses, no collateral findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scenario import FaultScenario
+from repro.harness.runner import SCHEME_FACTORIES, run_scheme
+from repro.harness.validate import (
+    AUDIT_MODES,
+    AuditReport,
+    audit_scheme,
+    conformance_spec,
+)
+from repro.sim.validation import (
+    audit_energy,
+    audit_result,
+    compare_ledgers,
+    result_ledger,
+)
+
+
+def _kinds(issues):
+    return sorted(issue.kind for issue in issues)
+
+
+def _replace_segment(trace, match, **changes):
+    """Swap the unique segment satisfying ``match`` for an edited copy."""
+    segments = trace.segments  # seals open tails; the list is live
+    hits = [i for i, seg in enumerate(segments) if match(seg)]
+    assert len(hits) == 1, f"expected one matching segment, got {len(hits)}"
+    segments[hits[0]] = dataclasses.replace(segments[hits[0]], **changes)
+
+
+class TestConformanceSpec:
+    def test_every_scheme_declares_a_suite(self, fig1):
+        for scheme in SCHEME_FACTORIES:
+            spec = conformance_spec(fig1, scheme, 20)
+            assert spec is not None
+            assert spec.scheme
+            assert len(spec.tasks) == len(fig1)
+
+    def test_unknown_scheme_rejected(self, fig1):
+        with pytest.raises(KeyError):
+            conformance_spec(fig1, "NoSuchScheme", 20)
+
+
+class TestCleanRunsAudit:
+    @pytest.mark.parametrize("scheme", sorted(SCHEME_FACTORIES))
+    def test_fig1_clean_in_all_modes(self, fig1, scheme):
+        report = audit_scheme(fig1, scheme, horizon_cap_units=20)
+        assert isinstance(report, AuditReport)
+        assert [audit.mode for audit in report.modes] == list(AUDIT_MODES)
+        assert report.ok, _kinds(report.issues)
+
+    def test_unknown_mode_rejected(self, fig1):
+        with pytest.raises(ConfigurationError):
+            audit_scheme(fig1, "MKSS_ST", modes=("trace", "warp"))
+
+    def test_mode_subset_respected(self, fig1):
+        report = audit_scheme(fig1, "MKSS_ST", horizon_cap_units=20,
+                              modes=("stats",))
+        assert [audit.mode for audit in report.modes] == ["stats"]
+
+
+class TestSeededMutations:
+    """Each mutation must trip exactly its own issue kind."""
+
+    def _dp_run(self, fig1):
+        outcome = run_scheme(fig1, "MKSS_DP", horizon_cap_units=20)
+        return outcome, conformance_spec(fig1, "MKSS_DP", 20)
+
+    def _selective_run(self, fig1):
+        outcome = run_scheme(fig1, "MKSS_Selective", horizon_cap_units=20)
+        return outcome, conformance_spec(fig1, "MKSS_Selective", 20)
+
+    def test_backup_shifted_before_postponed_release(self, fig1):
+        # MKSS_DP postpones tau1's backups by theta = 1: J12's backup
+        # legitimately starts at 6 (release 5 + 1).  Starting it at the
+        # nominal release instead lands in idle time -- every model-level
+        # check still passes -- but violates Definition 2's r-tilde.
+        outcome, spec = self._dp_run(fig1)
+        _replace_segment(
+            outcome.result.trace,
+            lambda s: s.role == "backup" and (s.task_index, s.job_index) == (0, 2),
+            start=5,
+        )
+        assert _kinds(audit_result(outcome.result, spec)) == ["postponement"]
+
+    def test_optional_executed_outside_fd_window(self, fig1):
+        # Reclassify a legitimately skipped job (replayed FD = 2) as an
+        # executed optional: MKSS_Selective only runs optionals at FD = 1.
+        outcome, spec = self._selective_run(fig1)
+        record = outcome.result.trace.records[(0, 1)]
+        assert record.classified_as == "skipped"
+        record.classified_as = "optional"
+        assert _kinds(audit_result(outcome.result, spec)) == ["optional-fd"]
+
+    def test_execution_after_cancellation(self, fig1):
+        # J12's backup is cancelled at tick 8 when its main completes
+        # fault-free; one extra tick of backup execution (into idle time,
+        # still before the deadline, still within 2 x WCET) must be
+        # caught as running after the effective decision.
+        outcome, spec = self._dp_run(fig1)
+        record = outcome.result.trace.records[(0, 2)]
+        assert record.decided_at == 8
+        _replace_segment(
+            outcome.result.trace,
+            lambda s: s.role == "backup" and (s.task_index, s.job_index) == (0, 2),
+            end=9,
+        )
+        assert _kinds(audit_result(outcome.result, spec)) == [
+            "run-after-success"
+        ]
+
+    def test_subthreshold_shutdown_detected(self, fig1):
+        # Tamper with the energy report: pretend half a unit of idle time
+        # was slept through (one extra transition).  The DPD audit
+        # recomputes the legal decomposition from the run and disagrees.
+        outcome, _ = self._dp_run(fig1)
+        report = outcome.energy
+        processor = next(
+            p for p, e in sorted(report.per_processor.items())
+            if e.idle_units > 0
+        )
+        entry = report.per_processor[processor]
+        shift = entry.idle_units / 2
+        report.per_processor[processor] = dataclasses.replace(
+            entry,
+            idle_units=entry.idle_units - shift,
+            sleep_units=entry.sleep_units + shift,
+            transition_count=entry.transition_count + 1,
+        )
+        assert _kinds(audit_energy(outcome.result, report)) == ["dpd"]
+
+    def test_recorded_fd_tamper_detected(self, fig1):
+        outcome, spec = self._selective_run(fig1)
+        record = outcome.result.trace.records[(0, 2)]
+        assert record.flexibility_degree == 1
+        record.flexibility_degree = 2
+        assert _kinds(audit_result(outcome.result, spec)) == ["fd-mismatch"]
+
+    def test_stats_counter_tamper_diverges(self, fig1):
+        reference = run_scheme(fig1, "MKSS_DP", horizon_cap_units=20)
+        stats_run = run_scheme(
+            fig1, "MKSS_DP", horizon_cap_units=20, collect_trace=False
+        )
+        stats_run.result.stats.effective += 1
+        issues = compare_ledgers(
+            result_ledger(reference.result),
+            result_ledger(stats_run.result),
+            label="stats",
+        )
+        assert _kinds(issues) == ["mode-divergence"]
+        assert "effective" in issues[0].detail
+
+    def test_nested_overlap_detected(self, fig1):
+        # Regression for the previous-end overlap bug: a short segment
+        # nested inside an earlier, longer one must not reset the
+        # watermark and hide the collision with a later segment.
+        outcome, spec = self._dp_run(fig1)
+        trace = outcome.result.trace
+        # tau2's main runs [3,5) on processor 1; shrink it to [3,4) and
+        # re-add a copy at [2,4): sorted by start, the [2,4) segment now
+        # encloses [3,4) -- both overlap.
+        _replace_segment(
+            trace,
+            lambda s: s.processor == 1
+            and s.role == "main"
+            and (s.task_index, s.job_index) == (1, 1)
+            and s.start == 3,
+            start=2,
+        )
+        issues = audit_result(outcome.result, spec)
+        assert "overlap" in _kinds(issues)
+
+
+class TestFaultyRunsAudit:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            FaultScenario.permanent_only(seed=5),
+            FaultScenario.permanent_and_transient(seed=6, rate=0.001),
+        ],
+        ids=["permanent", "permanent+transient"],
+    )
+    @pytest.mark.parametrize(
+        "scheme", ["MKSS_ST", "MKSS_DP", "MKSS_Selective", "ReExecution_FP"]
+    )
+    def test_paper_schemes_clean_under_faults(self, fig5, scheme, scenario):
+        report = audit_scheme(
+            fig5, scheme, scenario=scenario, horizon_cap_units=60
+        )
+        assert report.ok, _kinds(report.issues)

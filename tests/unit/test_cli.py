@@ -255,3 +255,68 @@ class TestParseBins:
 
         with pytest.raises(ReproError):
             parse_bins(" , ")
+
+
+class TestValidateCommand:
+    def test_all_schemes_on_preset(self, capsys):
+        assert main(["validate", "--preset", "fig1", "--horizon", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "MKSS_Selective" in out
+        assert "trace: ok" in out
+        assert ": 0 issue(s)" in out
+
+    def test_single_scheme_under_faults(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--preset",
+                "fig5",
+                "--scheme",
+                "MKSS_DP",
+                "--faults",
+                "permanent",
+                "--seed",
+                "3",
+                "--modes",
+                "trace,stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audited 1 scheme(s) x 2 mode(s): 0 issue(s)" in out
+
+    def test_tasks_file(self, tmp_path, capsys):
+        path = tmp_path / "ts.json"
+        path.write_text(
+            '{"tasks": [{"name": "a", "period": "5", "deadline": "5",'
+            ' "wcet": "1", "m": 1, "k": 2}]}'
+        )
+        code = main(
+            ["validate", "--tasks-file", str(path), "--scheme", "MKSS_ST"]
+        )
+        assert code == 0
+
+    def test_unknown_mode_rejected(self, capsys):
+        assert main(["validate", "--preset", "fig1", "--modes", "warp"]) == 2
+        assert "unknown mode" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self, capsys):
+        code = main(["validate", "--preset", "fig1", "--scheme", "Nope"])
+        assert code == 2
+
+    def test_sweep_validate_flag(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--bins",
+                "0.3:0.4",
+                "--sets-per-bin",
+                "1",
+                "--horizon",
+                "300",
+                "--validate",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "validation: 3 audit(s), 0 issue(s)" in capsys.readouterr().out

@@ -52,6 +52,34 @@ class TestShutdownDecision:
         )
         assert shutdown_decision(Fraction(2), model)
 
+    def test_exact_arithmetic_beyond_float_precision(self):
+        # Regression: the costs used to be compared in floats, where a
+        # gap of 2**53 + 1 units is indistinguishable from 2**53, so
+        # this marginally profitable shutdown (saving exactly one
+        # idle-power unit) tied and was wrongly refused.  Fraction
+        # arithmetic keeps the strict inequality.
+        model = PowerModel(
+            idle_power=1.0,
+            sleep_power=0.0,
+            transition_energy=float(2**53),
+            break_even=Fraction(1),
+        )
+        assert shutdown_decision(Fraction(2**53 + 1), model)
+        # The exact tie (costs equal) must still refuse to sleep.
+        assert not shutdown_decision(Fraction(2**53), model)
+
+    def test_fractional_gap_stays_exact(self):
+        # 1/3 of a unit cannot be represented in binary floating point;
+        # the rule must not accumulate round-off on such gaps.
+        model = PowerModel(
+            idle_power=3.0,
+            sleep_power=0.0,
+            transition_energy=1.0,
+            break_even=Fraction(1, 100),
+        )
+        assert not shutdown_decision(Fraction(1, 3), model)  # 1 == 1: tie
+        assert shutdown_decision(Fraction(1, 3) + Fraction(1, 10**18), model)
+
 
 class TestDPDController:
     def test_tracks_shutdowns_and_idles(self):

@@ -79,3 +79,22 @@ class TestEventLog:
         assert json.loads(json.dumps(event.to_dict()))["data"] == {
             "reason": "x"
         }
+
+
+class TestEventKinds:
+    def test_validation_kinds_registered(self):
+        from repro.harness.events import (
+            EVENT_KINDS,
+            RUN_FINISH,
+            VALIDATE,
+            VALIDATION_ISSUE,
+        )
+
+        assert VALIDATE in EVENT_KINDS
+        assert VALIDATION_ISSUE in EVENT_KINDS
+        # Lifecycle order: validation happens before the run closes.
+        assert EVENT_KINDS.index(VALIDATE) < EVENT_KINDS.index(RUN_FINISH)
+        assert EVENT_KINDS.index(VALIDATION_ISSUE) < EVENT_KINDS.index(
+            RUN_FINISH
+        )
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)

@@ -444,3 +444,58 @@ class TestJournalResume:
         finish = log.of_kind(RUN_FINISH)[0]
         assert finish.data == {"completed": 3, "dropped": 0}
         assert all(event.run_id == log.run_id for event in log.events)
+
+
+class TestValidationSampling:
+    def test_validate_runs_auditor_and_emits_events(self):
+        from repro.harness.events import VALIDATE, VALIDATION_ISSUE
+
+        log = EventLog()
+        sweep = utilization_sweep(
+            bins=[(0.3, 0.4)],
+            sets_per_bin=2,
+            seed=77,
+            horizon_cap_units=300,
+            scenario_factory=lambda index: FaultScenario.permanent_only(
+                seed=4000 + index
+            ),
+            events=log,
+            validate=2,
+        )
+        audits = log.of_kind(VALIDATE)
+        assert len(audits) == 2 * len(sweep.schemes)
+        assert {event.data["scheme"] for event in audits} == set(sweep.schemes)
+        assert all(
+            event.data["modes"] == ["trace", "stats"] for event in audits
+        )
+        # Healthy engine + schemes: the sampled audits find nothing.
+        assert sweep.validation_issues == []
+        assert log.of_kind(VALIDATION_ISSUE) == []
+        # Validation events precede the run-finish event.
+        finish_seq = log.of_kind(RUN_FINISH)[0].seq
+        assert all(event.seq < finish_seq for event in audits)
+
+    def test_folded_sweep_audits_fold_mode_too(self):
+        from repro.harness.events import VALIDATE
+
+        log = EventLog()
+        utilization_sweep(
+            bins=[(0.3, 0.4)],
+            sets_per_bin=1,
+            seed=77,
+            horizon_cap_units=300,
+            events=log,
+            collect_trace=False,
+            fold=True,
+            validate=1,
+        )
+        audits = log.of_kind(VALIDATE)
+        assert audits
+        assert all(
+            event.data["modes"] == ["trace", "stats", "fold"]
+            for event in audits
+        )
+
+    def test_negative_validate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization_sweep([(0.3, 0.4)], validate=-1, tasksets_by_bin={})

@@ -68,6 +68,17 @@ class TestExecutionTrace:
         trace.add_segment(0, 5, 6, make_job(index=2))
         trace.validate()
 
+    def test_validate_detects_overlap_hidden_by_nested_segment(self):
+        # Regression: tracking only the previous segment's end let a
+        # short segment nested inside an earlier, longer one reset the
+        # watermark (to 4 here), hiding that [5,8) collides with [0,10).
+        trace = ExecutionTrace()
+        trace.add_segment(0, 0, 10, make_job())
+        trace.add_segment(0, 2, 4, make_job(index=2))
+        trace.add_segment(0, 5, 8, make_job(index=3))
+        with pytest.raises(SimulationError):
+            trace.validate()
+
     def test_outcomes_for_task_in_job_order(self):
         trace = ExecutionTrace()
         trace.records[(0, 2)] = LogicalJobRecord(0, 2, 5, 10, JobOutcome.MISSED)

@@ -72,6 +72,36 @@ class TestDetection:
         issues = validate_result(clean_result)
         assert any(i.kind == "gap" for i in issues)
 
+    def test_reports_overlap_hidden_by_nested_segment(self, fig1, clean_result):
+        # Regression: the check used to remember only the previous
+        # segment's end, so the nested [9,10) reset the watermark to 10
+        # and the later [11,13) x [8,18) collision went unreported.
+        # Tracking the running maximum end reports both overlaps.
+        trace = clean_result.trace
+        trace.add_segment(1, 8, 18, Job(0, 1, JobRole.MAIN, 0, 100, 3, processor=1))
+        trace.add_segment(1, 9, 10, Job(0, 2, JobRole.MAIN, 0, 100, 3, processor=1))
+        trace.add_segment(1, 11, 13, Job(0, 3, JobRole.MAIN, 0, 100, 3, processor=1))
+        overlaps = [
+            i for i in validate_result(clean_result) if i.kind == "overlap"
+        ]
+        assert len(overlaps) == 2
+
+    def test_detects_run_after_success(self, fig1, clean_result):
+        # J12's backup is cancelled at the main's fault-free completion
+        # (tick 8); stretching its segment past the decision instant is
+        # execution after cancellation.
+        import dataclasses
+
+        trace = clean_result.trace
+        segments = trace.segments
+        index = next(
+            i for i, s in enumerate(segments)
+            if s.role == "backup" and (s.task_index, s.job_index) == (0, 2)
+        )
+        segments[index] = dataclasses.replace(segments[index], end=9)
+        issues = validate_result(clean_result)
+        assert [i.kind for i in issues] == ["run-after-success"]
+
     def test_max_copies_raises_cap(self, fig1):
         """Recovery-enabled runs exceed two WCETs legitimately."""
         from repro.model.task import Task

@@ -1,27 +1,34 @@
 """Shared fixtures for the benchmark suite.
 
 The figure benches share one pool of task sets, generated once per session
-with the paper's protocol.  Scale knobs (all optional, via environment):
+with the paper's protocol.  Scale comes from the repository's single
+experiment-protocol object (:mod:`repro.harness.protocol`): default bench
+runs use the *smoke* scale (``ExperimentProtocol.smoke()``, 5 sets per
+bin / 1000 ms horizon, for speed), and the usual environment overrides
+rescale everything coherently:
 
-* ``REPRO_BENCH_SETS``    -- task sets per 0.1-utilization bin (default 5;
-  the paper uses 20 -- set it for a full-fidelity run).
-* ``REPRO_BENCH_HORIZON`` -- simulation horizon cap in ms (default 1000).
+* ``REPRO_BENCH_SETS``    -- task sets per 0.1-utilization bin (the
+  documented EXPERIMENTS.md scale is 15; the paper itself uses >= 20).
+* ``REPRO_BENCH_HORIZON`` -- simulation horizon cap in ms (documented
+  scale: 1500).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro.harness.protocol import smoke_protocol
 from repro.workload.generator import generate_binned_tasksets
 
-#: The paper's x-axis: 0.1-wide (m,k)-utilization bins.
-BINS = tuple((round(i / 10, 1), round((i + 1) / 10, 1)) for i in range(1, 10))
+#: The bench-session protocol: smoke scale + environment overrides.
+PROTOCOL = smoke_protocol()
 
-SETS_PER_BIN = int(os.environ.get("REPRO_BENCH_SETS", "5"))
-HORIZON_UNITS = int(os.environ.get("REPRO_BENCH_HORIZON", "1000"))
-SEED = 20200309
+#: The paper's x-axis: 0.1-wide (m,k)-utilization bins.
+BINS = PROTOCOL.bins
+
+SETS_PER_BIN = PROTOCOL.sets_per_bin
+HORIZON_UNITS = PROTOCOL.horizon_cap_units
+SEED = PROTOCOL.seed
 
 
 @pytest.fixture(scope="session")
@@ -39,6 +46,7 @@ def panel_kwargs(bench_tasksets):
         tasksets_by_bin=bench_tasksets,
         horizon_cap_units=HORIZON_UNITS,
         sets_per_bin=SETS_PER_BIN,
+        protocol=PROTOCOL,
     )
 
 

@@ -14,8 +14,12 @@ Usage:
     python scripts/reproduce_all.py [--sets-per-bin N] [--horizon MS]
                                     [--out DIR]
 
-Defaults (5 sets/bin, 1000 ms) finish in ~2 minutes; the paper-fidelity
-configuration is ``--sets-per-bin 20 --horizon 2000``.
+Defaults come from the repository's single experiment-protocol object
+(:mod:`repro.harness.protocol`): the smoke scale (5 sets/bin, 1000 ms,
+~2 minutes), env-overridable via ``REPRO_BENCH_SETS`` /
+``REPRO_BENCH_HORIZON``.  The documented EXPERIMENTS.md scale is
+``--sets-per-bin 15 --horizon 1500``; the paper's own protocol uses at
+least 20 sets per bin.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.energy.accounting import energy_of
 from repro.energy.power import PowerModel
 from repro.harness.ascii_chart import render_sweep_chart
 from repro.harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
+from repro.harness.protocol import smoke_protocol
 from repro.harness.report import format_series_table
 from repro.harness.store import save_sweep
 from repro.schedulers import (
@@ -80,15 +85,17 @@ def run_worked_examples(report):
 
 
 def run_figure6(args, out_dir, report):
-    bins = list(DEFAULT_BINS)
+    proto = smoke_protocol().replace(
+        sets_per_bin=args.sets_per_bin, horizon_cap_units=args.horizon
+    )
+    bins = list(proto.bins)
     tasksets = generate_binned_tasksets(
-        bins, sets_per_bin=args.sets_per_bin, seed=20200309
+        bins, sets_per_bin=proto.sets_per_bin, seed=proto.seed
     )
     shared = dict(
         bins=bins,
         tasksets_by_bin=tasksets,
-        horizon_cap_units=args.horizon,
-        sets_per_bin=args.sets_per_bin,
+        protocol=proto,
     )
     for panel_id, panel in (("fig6a", fig6a), ("fig6b", fig6b), ("fig6c", fig6c)):
         started = time.time()
@@ -119,8 +126,11 @@ def run_figure6(args, out_dir, report):
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--sets-per-bin", type=int, default=5)
-    parser.add_argument("--horizon", type=int, default=1000)
+    smoke = smoke_protocol()
+    parser.add_argument(
+        "--sets-per-bin", type=int, default=smoke.sets_per_bin
+    )
+    parser.add_argument("--horizon", type=int, default=smoke.horizon_cap_units)
     parser.add_argument("--out", default="results")
     args = parser.parse_args()
     os.makedirs(args.out, exist_ok=True)

@@ -7,6 +7,9 @@ Commands:
 * ``simulate`` -- run one scheme on a task set and print the Gantt chart,
   energy, and QoS metrics.
 * ``sweep``    -- a Figure 6 panel (choose the fault scenario).
+* ``triage``   -- differential fidelity triage of the Figure 6 gap:
+  one-knob-at-a-time protocol ablations per panel, a machine-readable
+  gap-decomposition report, and outlier trace drill-down.
 * ``validate`` -- run the conformance auditor on a task set: model-level
   schedule invariants, each scheme's declared invariant suite, DPD
   legality, and the cross-mode (trace vs stats vs folded) differential.
@@ -33,6 +36,7 @@ from .energy.accounting import energy_of_result
 from .energy.power import PowerModel
 from .errors import ReproError
 from .harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
+from .harness.protocol import ExperimentProtocol
 from .harness.report import format_series_table, format_table
 from .harness.runner import SCHEME_FACTORIES
 from .model.task import Task
@@ -244,6 +248,70 @@ def cmd_sweep(args) -> int:
     return 0 if not sweep.validation_issues else 1
 
 
+def cmd_triage(args) -> int:
+    import os
+
+    from .harness.events import EventLog
+    from .harness.protocol import documented_protocol
+    from .harness.triage import (
+        TriageOptions,
+        check_report,
+        format_triage_tables,
+        run_triage,
+    )
+
+    protocol = documented_protocol()
+    overrides = {}
+    if args.sets_per_bin:
+        overrides["sets_per_bin"] = args.sets_per_bin
+    if args.horizon:
+        overrides["horizon_cap_units"] = args.horizon
+    if args.seed:
+        overrides["seed"] = args.seed
+    if overrides:
+        protocol = protocol.replace(**overrides)
+    panels = tuple(
+        panel.strip() for panel in args.panels.split(",") if panel.strip()
+    )
+    knobs = (
+        tuple(knob.strip() for knob in args.knobs.split(",") if knob.strip())
+        or None
+        if args.knobs
+        else None
+    )
+    options = TriageOptions(
+        out_dir=args.out_dir,
+        panels=panels,
+        knobs=knobs,
+        workers=args.workers,
+        fold=not args.no_fold,
+        validate=args.validate,
+        resume=args.resume,
+        outliers=args.outliers,
+        job_timeout=args.job_timeout or None,
+    )
+    log = EventLog()
+    report = run_triage(protocol, options, events=log)
+    report_path = args.report or os.path.join(args.out_dir, "report.json")
+    report.write(report_path)
+    print(format_triage_tables(report))
+    print(f"\nreport written to {report_path} (run {report.run_id})")
+    if args.events:
+        log.write_jsonl(args.events)
+        print(f"events written to {args.events} ({len(log.events)} events)")
+    if args.check:
+        problems = check_report(report)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            "checks passed: ordering holds, 0 violations in gated runs, "
+            "modes agree everywhere"
+        )
+    return 0
+
+
 def cmd_validate(args) -> int:
     from .faults.scenario import FaultScenario
     from .harness.validate import AUDIT_MODES, audit_scheme
@@ -352,15 +420,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.set_defaults(func=cmd_simulate)
 
+    # Quick sweeps default to the documented smoke scale; `triage`
+    # defaults to the documented full scale.  Both come from the single
+    # protocol object so the numbers cannot drift apart again.
+    smoke = ExperimentProtocol.smoke()
     sweep = sub.add_parser("sweep", help="run a Figure 6 panel")
     sweep.add_argument(
         "--faults",
         choices=("none", "permanent", "transient"),
         default="none",
     )
-    sweep.add_argument("--sets-per-bin", type=int, default=5)
-    sweep.add_argument("--seed", type=int, default=20200309)
-    sweep.add_argument("--horizon", type=int, default=1000)
+    sweep.add_argument("--sets-per-bin", type=int, default=smoke.sets_per_bin)
+    sweep.add_argument("--seed", type=int, default=smoke.seed)
+    sweep.add_argument(
+        "--horizon", type=int, default=smoke.horizon_cap_units
+    )
     sweep.add_argument(
         "--bins", default="", help='utilization bins as "0.2:0.3,0.5:0.6"'
     )
@@ -419,6 +493,103 @@ def build_parser() -> argparse.ArgumentParser:
         "printed, recorded as events, and make the command exit nonzero",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    triage = sub.add_parser(
+        "triage",
+        help="differential fidelity triage of the Figure 6 gap",
+        description=(
+            "Run one-knob-at-a-time ablations of the experiment protocol "
+            "around the documented baseline (15 sets/bin, 1500 ms horizon) "
+            "and emit a machine-readable gap-decomposition report per "
+            "Figure 6 panel, with outlier task sets replayed through the "
+            "conformance auditor and exported as traces."
+        ),
+    )
+    triage.add_argument(
+        "--panels",
+        default="fig6a,fig6b,fig6c",
+        help="comma-separated Figure 6 panels to triage",
+    )
+    triage.add_argument(
+        "--knobs",
+        default="",
+        help="comma-separated knob subset (default: every knob; see "
+        "repro.harness.triage.default_knobs)",
+    )
+    triage.add_argument(
+        "--out-dir",
+        default="triage-out",
+        help="campaign directory: per-sweep journals land in journals/, "
+        "outlier traces in traces/",
+    )
+    triage.add_argument(
+        "--report",
+        default="",
+        help="gap-decomposition JSON path (default: <out-dir>/report.json)",
+    )
+    triage.add_argument(
+        "--sets-per-bin",
+        type=int,
+        default=0,
+        help="baseline sets per bin (0 = documented protocol / env)",
+    )
+    triage.add_argument(
+        "--horizon",
+        type=int,
+        default=0,
+        help="baseline horizon cap in ms (0 = documented protocol / env)",
+    )
+    triage.add_argument(
+        "--seed", type=int, default=0, help="baseline seed (0 = documented)"
+    )
+    triage.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per sweep (1 = sequential)",
+    )
+    triage.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume every ablation sweep from its journal in <out-dir>",
+    )
+    triage.add_argument(
+        "--job-timeout",
+        type=float,
+        default=0.0,
+        help="per-job wall-clock timeout in seconds for parallel sweeps",
+    )
+    triage.add_argument(
+        "--validate",
+        type=int,
+        default=1,
+        metavar="N",
+        help="conformance-auditor samples per sweep (0 disables the "
+        "trace/stats/fold agreement check)",
+    )
+    triage.add_argument(
+        "--outliers",
+        type=int,
+        default=2,
+        help="per panel, extreme task sets to replay and export traces for",
+    )
+    triage.add_argument(
+        "--no-fold",
+        action="store_true",
+        help="disable the cycle-folding fast path (runs with full traces)",
+    )
+    triage.add_argument(
+        "--events",
+        default="",
+        help="write the campaign's structured events to this JSONL file",
+    )
+    triage.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if the Selective-vs-DP ordering regresses or "
+        "any run shows (m,k) violations / cross-mode divergence",
+    )
+    triage.set_defaults(func=cmd_triage)
 
     validate = sub.add_parser(
         "validate",

@@ -9,22 +9,36 @@ scenario:
 
 Panels share the generated task sets when run through
 :func:`figure6_series`, matching the paper's presentation.
+
+Scale and setup knobs come from one
+:class:`~repro.harness.protocol.ExperimentProtocol`: panels default to
+the *documented* protocol (``sets_per_bin=15, horizon_cap_units=1500`` --
+the scale every EXPERIMENTS.md series was measured at), and every knob
+can still be overridden per call.  Pass ``protocol=`` to rescale a whole
+panel coherently.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..energy.power import PowerModel
 from ..faults.scenario import FaultScenario
 from ..faults.transient import PAPER_FAULT_RATE
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
+from .protocol import DEFAULT_BINS, ExperimentProtocol
 from .runner import PAPER_SCHEMES
 from .sweep import ScenarioFactory, SweepResult, utilization_sweep
 
-#: Default (m,k)-utilization bins: 0.1-wide intervals over (0, 1].
-DEFAULT_BINS: Tuple[Tuple[float, float], ...] = tuple(
-    (round(lo / 10, 1), round((lo + 1) / 10, 1)) for lo in range(1, 10)
-)
+__all__ = [
+    "DEFAULT_BINS",
+    "FIGURE_SCENARIOS",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "figure6_series",
+    "panel_scenario_factory",
+]
 
 
 def _scenario_none(_: int) -> FaultScenario:
@@ -54,34 +68,54 @@ FIGURE_SCENARIOS: Dict[str, str] = {
 }
 
 
+def panel_scenario_factory(
+    panel: str, protocol: Optional[ExperimentProtocol] = None
+) -> Optional[ScenarioFactory]:
+    """The fault-scenario factory a panel uses (None for fig6a)."""
+    proto = protocol or ExperimentProtocol.documented()
+    if panel == "fig6a":
+        return None
+    if panel == "fig6b":
+        return _scenario_permanent(proto.scenario_seed_base(panel))
+    if panel == "fig6c":
+        return _scenario_permanent_transient(proto.scenario_seed_base(panel))
+    raise KeyError(f"unknown panel {panel!r}; known: {sorted(FIGURE_SCENARIOS)}")
+
+
 def fig6a(**kwargs) -> SweepResult:
     """Figure 6(a): energy comparison with no faults."""
     kwargs.setdefault("scenario_factory", _scenario_none)
     return _run_panel(**kwargs)
 
 
-def fig6b(seed_base: int = 1_000_000, **kwargs) -> SweepResult:
+def fig6b(seed_base: Optional[int] = None, **kwargs) -> SweepResult:
     """Figure 6(b): energy comparison under one permanent fault."""
-    kwargs.setdefault("scenario_factory", _scenario_permanent(seed_base))
+    if "scenario_factory" not in kwargs:
+        proto = kwargs.get("protocol") or ExperimentProtocol.documented()
+        base = seed_base if seed_base is not None else proto.permanent_seed_base
+        kwargs["scenario_factory"] = _scenario_permanent(base)
     return _run_panel(**kwargs)
 
 
-def fig6c(seed_base: int = 2_000_000, **kwargs) -> SweepResult:
+def fig6c(seed_base: Optional[int] = None, **kwargs) -> SweepResult:
     """Figure 6(c): energy under permanent + transient faults."""
-    kwargs.setdefault(
-        "scenario_factory", _scenario_permanent_transient(seed_base)
-    )
+    if "scenario_factory" not in kwargs:
+        proto = kwargs.get("protocol") or ExperimentProtocol.documented()
+        base = seed_base if seed_base is not None else proto.transient_seed_base
+        kwargs["scenario_factory"] = _scenario_permanent_transient(base)
     return _run_panel(**kwargs)
 
 
 def _run_panel(
-    bins: Sequence[Tuple[float, float]] = DEFAULT_BINS,
+    bins: Optional[Sequence[Tuple[float, float]]] = None,
     schemes: Sequence[str] = PAPER_SCHEMES,
-    sets_per_bin: int = 20,
-    seed: int = 20200309,
+    sets_per_bin: Optional[int] = None,
+    seed: Optional[int] = None,
     scenario_factory: Optional[ScenarioFactory] = None,
     generator_config: Optional[GeneratorConfig] = None,
-    horizon_cap_units: int = 2000,
+    horizon_cap_units: Optional[int] = None,
+    power_model: Optional[PowerModel] = None,
+    protocol: Optional[ExperimentProtocol] = None,
     tasksets_by_bin=None,
     workers: int = 1,
     journal_path: Optional[str] = None,
@@ -92,14 +126,26 @@ def _run_panel(
     fold: bool = False,
     validate: int = 0,
 ) -> SweepResult:
+    proto = protocol or ExperimentProtocol.documented()
+    if power_model is None and not proto.uses_default_power_model():
+        power_model = proto.power_model()
     return utilization_sweep(
-        bins=bins,
+        bins=list(proto.bins) if bins is None else bins,
         schemes=schemes,
         scenario_factory=scenario_factory,
-        sets_per_bin=sets_per_bin,
-        generator_config=generator_config,
-        seed=seed,
-        horizon_cap_units=horizon_cap_units,
+        sets_per_bin=(
+            proto.sets_per_bin if sets_per_bin is None else sets_per_bin
+        ),
+        generator_config=(
+            proto.generator if generator_config is None else generator_config
+        ),
+        seed=proto.seed if seed is None else seed,
+        horizon_cap_units=(
+            proto.horizon_cap_units
+            if horizon_cap_units is None
+            else horizon_cap_units
+        ),
+        power_model=power_model,
         tasksets_by_bin=tasksets_by_bin,
         workers=workers,
         journal_path=journal_path,
@@ -113,14 +159,27 @@ def _run_panel(
 
 
 def figure6_series(
-    bins: Sequence[Tuple[float, float]] = DEFAULT_BINS,
-    sets_per_bin: int = 20,
-    seed: int = 20200309,
+    bins: Optional[Sequence[Tuple[float, float]]] = None,
+    sets_per_bin: Optional[int] = None,
+    seed: Optional[int] = None,
     generator_config: Optional[GeneratorConfig] = None,
-    horizon_cap_units: int = 2000,
+    horizon_cap_units: Optional[int] = None,
     schemes: Sequence[str] = PAPER_SCHEMES,
+    protocol: Optional[ExperimentProtocol] = None,
 ) -> Dict[str, SweepResult]:
     """All three panels over one shared pool of task sets."""
+    proto = protocol or ExperimentProtocol.documented()
+    bins = list(proto.bins) if bins is None else bins
+    sets_per_bin = proto.sets_per_bin if sets_per_bin is None else sets_per_bin
+    seed = proto.seed if seed is None else seed
+    generator_config = (
+        proto.generator if generator_config is None else generator_config
+    )
+    horizon_cap_units = (
+        proto.horizon_cap_units
+        if horizon_cap_units is None
+        else horizon_cap_units
+    )
     tasksets = generate_binned_tasksets(
         bins, sets_per_bin, generator_config, seed
     )
@@ -130,6 +189,7 @@ def figure6_series(
         sets_per_bin=sets_per_bin,
         horizon_cap_units=horizon_cap_units,
         tasksets_by_bin=tasksets,
+        protocol=proto,
     )
     return {
         "fig6a": fig6a(**shared),

@@ -56,6 +56,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..energy.power import PowerModel
 from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
 from ..model.taskset import TaskSet
@@ -170,13 +171,13 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
     ``job`` is a descriptor tuple:
 
     * ``("set", taskset, scheme, scenario, horizon_cap_units,
-      collect_trace, fold)`` carries a pickled TaskSet (used for
-      explicitly supplied workloads and for the inline ``workers=1``
-      path);
+      collect_trace, fold, power_model)`` carries a pickled TaskSet
+      (used for explicitly supplied workloads and for the inline
+      ``workers=1`` path);
     * ``("gen", bins, sets_per_bin, config, seed, bin_range, index,
-      scheme, scenario, horizon_cap_units, collect_trace, fold)`` names
-      a task set by position within a deterministic generation,
-      regenerated worker-side via :data:`_WORKER_TASKSETS`.
+      scheme, scenario, horizon_cap_units, collect_trace, fold,
+      power_model)`` names a task set by position within a deterministic
+      generation, regenerated worker-side via :data:`_WORKER_TASKSETS`.
 
     Returns ``(total energy, mk violations, cycles folded)``.  The third
     element is observability-only: the sweep splits it off into the
@@ -187,7 +188,16 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
     _maybe_crash_for_tests()
     kind = job[0]
     if kind == "set":
-        _, taskset, scheme, scenario, horizon_cap_units, collect_trace, fold = job
+        (
+            _,
+            taskset,
+            scheme,
+            scenario,
+            horizon_cap_units,
+            collect_trace,
+            fold,
+            power_model,
+        ) = job
     elif kind == "gen":
         (
             _,
@@ -202,6 +212,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
             horizon_cap_units,
             collect_trace,
             fold,
+            power_model,
         ) = job
         taskset = _regenerated_tasksets(bins, sets_per_bin, config, seed)[
             bin_range
@@ -213,6 +224,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
         scheme,
         scenario=scenario,
         horizon_cap_units=horizon_cap_units,
+        power_model=power_model,
         collect_trace=collect_trace,
         fold=fold,
     )
@@ -584,6 +596,12 @@ class SweepResult:
     dropped: List[DroppedSet] = field(default_factory=list)
     run_id: Optional[str] = None
     validation_issues: List[SweepValidation] = field(default_factory=list)
+    #: Per-job payloads of every aggregated run, keyed by the sweep's
+    #: deterministic job key (the journal's key): ``(energy, violations)``.
+    #: Jobs of dropped pairs are excluded, mirroring the aggregates.
+    #: Enables paired per-set analyses (alternative normalizations,
+    #: outlier triage) without re-running or re-parsing the journal.
+    job_payloads: Dict[str, Tuple[float, int]] = field(default_factory=dict)
 
     def series(self, scheme: str) -> List[Tuple[str, float]]:
         """(bin label, normalized energy) pairs for one scheme."""
@@ -619,6 +637,7 @@ def _sweep_fingerprint(
     seed: Optional[int],
     horizon_cap_units: int,
     supplied_tasksets: Optional[Dict[Tuple[float, float], List[TaskSet]]],
+    power_model: Optional[PowerModel] = None,
 ) -> Dict[str, Any]:
     """JSON-able identity of a sweep, for journal header validation.
 
@@ -626,7 +645,9 @@ def _sweep_fingerprint(
     timeouts) are deliberately absent: the engine guarantees identical
     metrics in every mode, so a journal written stats-only or folded
     resumes a trace-mode sweep -- and vice versa -- with bitwise-equal
-    payloads.
+    payloads.  A non-default ``power_model`` *is* part of the identity
+    (it changes every energy payload); the default (None) is omitted so
+    journals recorded before the knob existed still resume.
     """
     if supplied_tasksets is None:
         workload: Any = "generated"
@@ -637,7 +658,7 @@ def _sweep_fingerprint(
             ]
             for key, tasksets in sorted(supplied_tasksets.items())
         }
-    return {
+    fingerprint = {
         "kind": "utilization_sweep",
         "bins": [[float(lo), float(hi)] for lo, hi in bins],
         "schemes": list(schemes),
@@ -648,6 +669,9 @@ def _sweep_fingerprint(
         "generator_config": repr(_config_key(generator_config)),
         "workload": workload,
     }
+    if power_model is not None:
+        fingerprint["power_model"] = repr(power_model)
+    return fingerprint
 
 
 def utilization_sweep(
@@ -659,6 +683,7 @@ def utilization_sweep(
     generator_config: Optional[GeneratorConfig] = None,
     seed: Optional[int] = 20200309,
     horizon_cap_units: int = 2000,
+    power_model: Optional[PowerModel] = None,
     tasksets_by_bin: Optional[Dict[Tuple[float, float], List[TaskSet]]] = None,
     workers: int = 1,
     journal_path: Optional[str] = None,
@@ -684,6 +709,10 @@ def utilization_sweep(
         generator_config: workload generator knobs.
         seed: workload RNG seed (fixed default for reproducibility).
         horizon_cap_units: simulation horizon cap per set.
+        power_model: energy model applied in every job (None = the
+            paper's default).  A non-default model enters the journal
+            fingerprint, so a journal recorded under one T_be cannot be
+            silently resumed under another.
         tasksets_by_bin: pre-generated task sets (skips generation).
         workers: > 1 fans the (task set, scheme) runs out over a single
             persistent process pool spanning every bin; results are
@@ -754,6 +783,7 @@ def utilization_sweep(
         seed,
         horizon_cap_units,
         tasksets_by_bin,
+        power_model,
     )
     if tasksets_by_bin is None:
         generated_spec = (
@@ -805,12 +835,12 @@ def utilization_sweep(
                 if ship_spec:
                     jobs.append(
                         ("gen", *generated_spec, key, index, scheme, scenario,
-                         horizon_cap_units, collect_trace, fold)
+                         horizon_cap_units, collect_trace, fold, power_model)
                     )
                 else:
                     jobs.append(
                         ("set", taskset, scheme, scenario, horizon_cap_units,
-                         collect_trace, fold)
+                         collect_trace, fold, power_model)
                     )
 
     log = events if events is not None else EventLog()
@@ -856,17 +886,22 @@ def utilization_sweep(
     violations: Dict[Tuple[float, float], Dict[str, int]] = {
         key: {scheme: 0 for scheme in schemes} for key, _ in populated
     }
-    for (key, scheme, counter, index), outcome in zip(meta, results):
+    payloads: Dict[str, Tuple[float, int]] = {}
+    for job_key, (key, scheme, counter, index), outcome in zip(
+        job_keys, meta, results
+    ):
         if counter in failures or outcome[0] != OK:
             continue
         energy, job_violations = outcome[1]
         totals[key][scheme].append(energy)
         violations[key][scheme] += job_violations
+        payloads[job_key] = (energy, job_violations)
 
     sweep = SweepResult(
         schemes=tuple(schemes),
         reference_scheme=reference_scheme,
         run_id=log.run_id,
+        job_payloads=payloads,
     )
     for counter in sorted(failures):
         key, index = set_info[counter]
@@ -933,6 +968,7 @@ def utilization_sweep(
                     scenario=scenario,
                     horizon_cap_units=horizon_cap_units,
                     modes=audit_modes,
+                    power_model=power_model,
                 )
                 log.emit(
                     VALIDATE,

@@ -38,6 +38,13 @@ from ..model.task import Task
 from ..model.taskset import TaskSet
 from .uunifast import uunifast
 
+#: Admission filters a :class:`GeneratorConfig` can apply to raw draws:
+#: ``"rpattern"`` is the paper's Theorem 1 hypothesis (schedulable under
+#: the deeply-red R-pattern), ``"rotated"`` additionally admits sets a
+#: per-task pattern rotation (Quan & Hu [13]) makes schedulable, and
+#: ``"none"`` admits every feasible draw (no schedulability filter).
+ADMISSION_MODES: Tuple[str, ...] = ("rpattern", "rotated", "none")
+
 #: Default period grid: divisors-friendly values inside the paper's
 #: [5, 50] ms range (all divide 7200, keeping LCMs small).
 DEFAULT_PERIOD_CHOICES: Tuple[int, ...] = (5, 6, 8, 10, 12, 15, 16, 20, 24, 25, 30, 40, 48, 50)
@@ -56,6 +63,7 @@ class GeneratorConfig:
     implicit_deadlines: bool = True
     horizon_cap_units: int = 5000
     require_schedulable: bool = True
+    admission: str = "rpattern"
     max_attempts_per_set: int = 200
 
     def __post_init__(self) -> None:
@@ -65,6 +73,42 @@ class GeneratorConfig:
             raise WorkloadError(f"bad k range {self.k_range}")
         if self.wcet_grid <= 0:
             raise WorkloadError("wcet_grid must be positive")
+        if self.admission not in ADMISSION_MODES:
+            raise WorkloadError(
+                f"admission must be one of {ADMISSION_MODES}, "
+                f"got {self.admission!r}"
+            )
+
+    def admits(self, taskset: TaskSet) -> bool:
+        """Whether a feasible draw passes this config's admission filter.
+
+        ``require_schedulable=False`` and ``admission="none"`` both admit
+        everything; ``"rpattern"`` is the paper's filter; ``"rotated"``
+        falls back to searching per-task pattern rotations when the plain
+        R-pattern alignment is unschedulable.
+        """
+        if not self.require_schedulable or self.admission == "none":
+            return True
+        base = taskset.timebase()
+        horizon = analysis_horizon(taskset, base, self.horizon_cap_units)
+        if is_rpattern_schedulable(taskset, base, horizon_ticks=horizon):
+            return True
+        if self.admission == "rotated":
+            from ..analysis.rotation import (
+                optimize_rotations,
+                schedulability_margin,
+            )
+
+            _, patterns = optimize_rotations(
+                taskset, base, horizon_ticks=horizon
+            )
+            return (
+                schedulability_margin(
+                    taskset, patterns, base, horizon_ticks=horizon
+                )
+                >= 0
+            )
+        return False
 
 
 class TaskSetGenerator:
@@ -121,11 +165,7 @@ class TaskSetGenerator:
             taskset = self.draw_raw(target_mk_utilization)
             if taskset is None:
                 continue
-            if not cfg.require_schedulable:
-                return taskset
-            base = taskset.timebase()
-            horizon = analysis_horizon(taskset, base, cfg.horizon_cap_units)
-            if is_rpattern_schedulable(taskset, base, horizon_ticks=horizon):
+            if cfg.admits(taskset):
                 return taskset
         raise WorkloadError(
             f"no schedulable set found at (m,k)-utilization "
@@ -167,10 +207,7 @@ def generate_binned_tasksets(
             achieved = float(taskset.mk_utilization)
             if not bin_lo <= achieved < bin_hi:
                 continue
-            if cfg.require_schedulable:
-                base = taskset.timebase()
-                horizon = analysis_horizon(taskset, base, cfg.horizon_cap_units)
-                if not is_rpattern_schedulable(taskset, base, horizon_ticks=horizon):
-                    continue
+            if not cfg.admits(taskset):
+                continue
             result[(bin_lo, bin_hi)].append(taskset)
     return result

@@ -10,7 +10,7 @@ from repro import (
     Task,
     TaskSet,
 )
-from repro.energy import energy_of
+from repro.energy.accounting import energy_of_result
 from repro.schedulers.base import run_policy
 from repro.workload.presets import fig1_taskset, fig3_taskset, fig5_taskset
 
@@ -45,19 +45,17 @@ def run_active(taskset, policy, horizon_units, window_units=None, scenario=None)
     """Run a policy and return (result, exact active energy in the window).
 
     Helper shared across integration tests: simulates ``horizon_units`` of
-    releases and accounts active-only energy over ``window_units``
-    (defaulting to the horizon).
+    releases and accounts active-only energy over the explicit ``[0,
+    window_units)`` window (defaulting to the full horizon) via
+    :func:`repro.energy.accounting.energy_of_result`.
     """
     base = taskset.timebase()
     horizon = horizon_units * base.ticks_per_unit
     result = run_policy(taskset, policy, horizon, base, scenario)
-    window = (window_units or horizon_units) * base.ticks_per_unit
-    report = energy_of(
-        result.trace,
-        base,
-        window,
+    report = energy_of_result(
+        result,
         PowerModel.active_only(),
-        result.permanent_fault,
+        window_units=window_units if window_units is not None else horizon_units,
     )
     return result, report.active_units
 

@@ -109,6 +109,13 @@ class TestFigure3Greedy:
         _, energy = active_runner(fig3, MKSSGreedy(), 25, window_units=24)
         assert energy == 20
 
+    def test_active_energy_is_21_through_t25(self, fig3, active_runner):
+        """Over the literal [0, 25) window the running J27 job contributes
+        one more unit (EXPERIMENTS.md note 1); both readings are pinned so
+        the window boundary stays explicit instead of an implicit horizon."""
+        _, energy = active_runner(fig3, MKSSGreedy(), 25, window_units=25)
+        assert energy == 21
+
     def test_tau1_executes_exactly_four_jobs(self, fig3, active_runner):
         result, _ = active_runner(fig3, MKSSGreedy(), 25)
         tau1_jobs = {

@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model.mk import MKConstraint
-from repro.model.patterns import EPattern, RPattern, pattern_satisfies_mk
+from repro.model.patterns import (
+    EPattern,
+    RotatedPattern,
+    RPattern,
+    pattern_satisfies_mk,
+)
 
 mk_pairs = st.integers(min_value=2, max_value=20).flatmap(
     lambda k: st.tuples(st.integers(min_value=1, max_value=k), st.just(k))
@@ -65,3 +70,78 @@ def test_range_count_is_additive(pair, lo, width):
     left = pattern.mandatory_count_in(1, lo - 1)
     right = pattern.mandatory_count_in(lo, hi)
     assert left + right == pattern.mandatory_count_in(1, hi)
+
+
+# --- Rotated patterns (the enhanced-FP admission lever) --------------------
+
+rotations = st.integers(min_value=0, max_value=45)
+bases = st.sampled_from([RPattern, EPattern])
+
+
+@given(mk_pairs, rotations, bases)
+def test_rotated_prefix_count_matches_enumeration(pair, rotation, base):
+    """The closed-form ``_prefix_count`` must agree with brute-force
+    enumeration of ``is_mandatory`` for every rotation."""
+    m, k = pair
+    pattern = RotatedPattern(base(MKConstraint(m, k)), rotation)
+    for count in range(0, 3 * k + 1):
+        expected = sum(
+            int(pattern.is_mandatory(j)) for j in range(1, count + 1)
+        )
+        assert pattern.mandatory_count_in(1, count) == expected, (
+            m,
+            k,
+            rotation,
+            count,
+        )
+
+
+@given(
+    mk_pairs,
+    rotations,
+    bases,
+    st.integers(min_value=1, max_value=80),
+    st.integers(min_value=0, max_value=80),
+)
+def test_rotated_window_count_matches_enumeration(pair, rotation, base, lo, width):
+    m, k = pair
+    pattern = RotatedPattern(base(MKConstraint(m, k)), rotation)
+    hi = lo + width
+    expected = sum(int(pattern.is_mandatory(j)) for j in range(lo, hi + 1))
+    assert pattern.mandatory_count_in(lo, hi) == expected
+
+
+@given(mk_pairs, rotations, bases)
+def test_rotation_preserves_steady_state_mk(pair, rotation, base):
+    """Every window of k consecutive jobs of the rotated infinite
+    sequence still carries >= m mandatory slots (the property [13]'s
+    enhanced analysis relies on)."""
+    m, k = pair
+    mk = MKConstraint(m, k)
+    pattern = RotatedPattern(base(mk), rotation)
+    bits = [int(pattern.is_mandatory(j)) for j in range(1, 6 * k + 1)]
+    assert pattern_satisfies_mk(bits, mk)
+
+
+@given(mk_pairs, rotations, bases)
+def test_full_circle_rotation_is_identity(pair, rotation, base):
+    m, k = pair
+    pattern = base(MKConstraint(m, k))
+    shifted = RotatedPattern(pattern, rotation)
+    unshifted = RotatedPattern(pattern, rotation + k)
+    assert all(
+        shifted.is_mandatory(j) == unshifted.is_mandatory(j)
+        for j in range(1, 3 * k + 1)
+    )
+
+
+@given(mk_pairs, rotations, bases)
+def test_rotation_preserves_density(pair, rotation, base):
+    """Rotation permutes the window; it never changes how many jobs per
+    window are mandatory."""
+    m, k = pair
+    mk = MKConstraint(m, k)
+    rotated = RotatedPattern(base(mk), rotation)
+    assert rotated.mandatory_count_in(1, 4 * k) == base(
+        mk
+    ).mandatory_count_in(1, 4 * k)

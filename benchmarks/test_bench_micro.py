@@ -7,6 +7,8 @@ in the simulator show up independently of the figure sweeps.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis.postponement import task_postponement_intervals
 from repro.analysis.rta import response_times
 from repro.analysis.schedulability import is_rpattern_schedulable
@@ -157,6 +159,41 @@ def test_flexibility_degree_updates(benchmark):
 
     total = benchmark(run)
     assert total > 0
+
+
+def test_bench_batch_sweep(benchmark, bench_tasksets):
+    """Batch-kernel sweep throughput at the Figure 6 smoke shape.
+
+    Every (task set, scheme) job of the smoke protocol advances in one
+    lockstep kernel -- the work the pool backend does one scalar engine
+    at a time.  Batch items are built outside the measured callable:
+    task-set generation and admission dominate raw sweep wall clock and
+    are identical across backends, so measuring them would mask the
+    kernel (see docs/performance.md, "Batch kernel").
+    """
+    pytest.importorskip("numpy")
+    from repro.harness.protocol import smoke_protocol
+    from repro.harness.runner import SCHEME_FACTORIES
+    from repro.sim.batch import build_batch_item, run_batch_payloads
+
+    # Same protocol object (and environment overrides) as the session
+    # fixture that generated ``bench_tasksets`` -- see conftest.py.
+    horizon_units = smoke_protocol().horizon_cap_units
+
+    items = []
+    for key in sorted(bench_tasksets):
+        for taskset in bench_tasksets[key]:
+            for scheme in sorted(SCHEME_FACTORIES):
+                item = build_batch_item(
+                    taskset, scheme, None, horizon_cap_units=horizon_units
+                )
+                assert item is not None
+                items.append(item)
+
+    payloads = benchmark(lambda: run_batch_payloads(items))
+    benchmark.extra_info["sims"] = len(items)
+    assert len(payloads) == len(items)
+    assert all(energy > 0 for energy, _, _ in payloads)
 
 
 def test_workload_generation(benchmark):

@@ -7,4 +7,11 @@ for PEP 660 editable builds (``--no-use-pep517`` then takes this path).
 
 from setuptools import setup
 
-setup()
+# Mirrors [project.optional-dependencies] in pyproject.toml for the
+# legacy setup() path; keep the two in sync.
+setup(
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "batch": ["numpy>=2.0"],
+    }
+)

@@ -198,12 +198,33 @@ def cmd_sweep(args) -> int:
     bins = parse_bins(args.bins) if args.bins else list(DEFAULT_BINS)
     collect_trace = args.collect_trace and not args.fold
     log = EventLog()
+    backend = args.backend
+    if backend == "batch":
+        from .harness.events import BACKEND_FALLBACK
+        from .sim.batch import numpy_available
+
+        if not numpy_available():
+            # Degrade, don't crash: the batch kernel is an accelerator,
+            # not a requirement.  The event records what happened.
+            log.emit(
+                BACKEND_FALLBACK,
+                requested="batch",
+                used="pool",
+                reason="numpy is not installed (pip install repro[batch])",
+            )
+            print(
+                "warning: --backend batch needs numpy "
+                "(pip install repro[batch]); falling back to pool",
+                file=sys.stderr,
+            )
+            backend = "pool"
     sweep = panel(
         bins=bins,
         sets_per_bin=args.sets_per_bin,
         seed=args.seed,
         horizon_cap_units=args.horizon,
         workers=args.workers,
+        backend=backend,
         journal_path=args.journal or None,
         resume=args.resume,
         job_timeout=args.job_timeout or None,
@@ -446,6 +467,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes (1 = sequential)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("pool", "batch", "serial"),
+        default="pool",
+        help="execution backend: 'pool' runs one scalar engine per job, "
+        "'batch' advances batchable jobs in lockstep on the vectorized "
+        "numpy kernel (scalar fallback per job; identical results), "
+        "'serial' forces the inline scalar path; without numpy, "
+        "--backend batch warns and falls back to pool",
     )
     sweep.add_argument(
         "--journal",

@@ -20,6 +20,8 @@ kind                      payload keys
 :data:`JOB_DROP`          ``job``, ``attempt``, ``reason``, ``progress``
 :data:`JOB_SKIP`          ``job``, ``progress`` (already in the journal)
 :data:`POOL_RESPAWN`      ``pending`` (jobs resubmitted to the new pool)
+:data:`BATCH_PROGRESS`    ``done``, ``total``, ``sims_per_s``
+:data:`BACKEND_FALLBACK`  ``requested``, ``used``, ``reason``
 :data:`VALIDATE`          ``job``, ``scheme``, ``modes``, ``issues``
 :data:`VALIDATION_ISSUE`  ``job``, ``scheme``, ``mode``, ``issue_kind``,
                           ``detail``
@@ -45,6 +47,8 @@ JOB_RETRY = "job_retry"
 JOB_DROP = "job_drop"
 JOB_SKIP = "job_skip"
 POOL_RESPAWN = "pool_respawn"
+BATCH_PROGRESS = "batch_progress"
+BACKEND_FALLBACK = "backend_fallback"
 VALIDATE = "validate"
 VALIDATION_ISSUE = "validation_issue"
 RUN_FINISH = "run_finish"
@@ -58,6 +62,8 @@ EVENT_KINDS = (
     JOB_DROP,
     JOB_SKIP,
     POOL_RESPAWN,
+    BATCH_PROGRESS,
+    BACKEND_FALLBACK,
     VALIDATE,
     VALIDATION_ISSUE,
     RUN_FINISH,

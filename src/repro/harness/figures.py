@@ -118,6 +118,7 @@ def _run_panel(
     protocol: Optional[ExperimentProtocol] = None,
     tasksets_by_bin=None,
     workers: int = 1,
+    backend: str = "pool",
     journal_path: Optional[str] = None,
     resume: bool = False,
     job_timeout: Optional[float] = None,
@@ -148,6 +149,7 @@ def _run_panel(
         power_model=power_model,
         tasksets_by_bin=tasksets_by_bin,
         workers=workers,
+        backend=backend,
         journal_path=journal_path,
         resume=resume,
         job_timeout=job_timeout,

@@ -63,6 +63,7 @@ from ..model.taskset import TaskSet
 from ..sim.validation import ValidationIssue
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
 from .events import (
+    BATCH_PROGRESS,
     JOB_DROP,
     JOB_FINISH,
     JOB_RETRY,
@@ -87,6 +88,14 @@ ScenarioFactory = Callable[[int], FaultScenario]
 #: Job outcome tags returned by :func:`execute_jobs`.
 OK = "ok"
 DROPPED = "dropped"
+
+#: Execution backends accepted by :func:`utilization_sweep`.  ``pool``
+#: is the classic per-job path (inline at ``workers=1``, process pool
+#: above); ``serial`` forces the inline path regardless of ``workers``;
+#: ``batch`` advances every batchable job in lockstep on the vectorized
+#: kernel (:mod:`repro.sim.batch`) and falls back to the scalar engine
+#: per job for the rest.
+SWEEP_BACKENDS = ("pool", "batch", "serial")
 
 
 def _freeze(value):
@@ -246,6 +255,207 @@ def _split_fold_count(value):
     if isinstance(value, (tuple, list)) and len(value) > 2:
         return tuple(value[:2]), {"cycles_folded": value[2]}
     return value, {}
+
+
+def _run_batch_chunk(items: list) -> list:
+    """Module-level batch worker so ProcessPoolExecutor can pickle it.
+
+    ``items`` is a list of :class:`repro.sim.batch.BatchItem`; the whole
+    chunk advances in lockstep on one vectorized kernel.  Returns one
+    ``(energy, violations, cycles_folded)`` payload per item, aligned
+    with ``items`` -- exactly what :func:`_run_one` returns for the same
+    job on the scalar engine.
+    """
+    _maybe_crash_for_tests()
+    from ..sim.batch import run_batch_payloads
+
+    return run_batch_payloads(items)
+
+
+def _execute_batch_jobs(
+    jobs: Sequence[Any],
+    key_list: Sequence[str],
+    specs: Sequence[Tuple[TaskSet, str, Optional[FaultScenario]]],
+    *,
+    workers: int,
+    policy: ExecutionPolicy,
+    journal: Optional[RunJournal],
+    completed: Dict[str, Any],
+    events: EventLog,
+    horizon_cap_units: int,
+    power_model: Optional[PowerModel],
+) -> List[Tuple[str, Any]]:
+    """The ``backend="batch"`` execution path of the sweep.
+
+    Resolves every pending job into a :class:`~repro.sim.batch.BatchItem`
+    where possible and advances all of them in lockstep -- inline at
+    ``workers=1``, or split into one chunk per worker over the process
+    pool.  Jobs the kernel cannot take (transient faults possible, no
+    batch profile, window too deep) fall back to the scalar engine via
+    :func:`execute_jobs`, as does every batched job whose chunk failed.
+    Journal rows carry the same keys and byte-identical payloads as the
+    pool backend, so journals resume across backends in both directions.
+
+    Returns ``(tag, payload)`` per job, aligned with ``jobs`` -- the
+    :func:`execute_jobs` contract.
+    """
+    from ..sim.batch import build_batch_item
+
+    log = events
+    total = len(jobs)
+    results: List[Optional[Tuple[str, Any]]] = [None] * total
+    done = 0
+    if completed:
+        for index, key in enumerate(key_list):
+            if key in completed:
+                results[index] = (OK, completed[key])
+                done += 1
+                log.emit(JOB_SKIP, job=key, progress=f"{done}/{total}")
+    pending = [index for index in range(total) if results[index] is None]
+
+    items: Dict[int, Any] = {}
+    scalar: List[int] = []
+    for index in pending:
+        taskset, scheme, scenario = specs[index]
+        item = build_batch_item(
+            taskset,
+            scheme,
+            scenario,
+            horizon_cap_units=horizon_cap_units,
+            power_model=power_model,
+        )
+        if item is None:
+            scalar.append(index)
+        else:
+            items[index] = item
+
+    def finish(index: int, value: Any, wall_s: float) -> None:
+        nonlocal done
+        payload, extras = _split_fold_count(value)
+        results[index] = (OK, payload)
+        done += 1
+        if journal is not None:
+            journal.record(
+                key_list[index],
+                payload,
+                wall_s=round(wall_s, 6),
+                attempt=1,
+            )
+        log.emit(
+            JOB_FINISH,
+            job=key_list[index],
+            attempt=1,
+            wall_s=round(wall_s, 6),
+            progress=f"{done}/{total}",
+            **extras,
+        )
+
+    batch_order = sorted(items)
+    if batch_order:
+        started = time.monotonic()
+        if workers == 1:
+            last_emit = [started]
+
+            def progress(done_sims: int, total_sims: int) -> None:
+                stamp = time.monotonic()
+                if done_sims < total_sims and stamp - last_emit[0] < 1.0:
+                    return
+                last_emit[0] = stamp
+                elapsed = stamp - started
+                log.emit(
+                    BATCH_PROGRESS,
+                    done=done_sims,
+                    total=total_sims,
+                    sims_per_s=(
+                        round(done_sims / elapsed, 1) if elapsed > 0 else None
+                    ),
+                )
+
+            try:
+                payloads = _run_batch_chunk_with_progress(
+                    [items[index] for index in batch_order], progress
+                )
+            except Exception as exc:
+                reason = f"batch kernel failed: {_describe_error(exc)}"
+                for index in batch_order:
+                    log.emit(
+                        JOB_RETRY, job=key_list[index], attempt=1, reason=reason
+                    )
+                scalar.extend(batch_order)
+            else:
+                per_job = (time.monotonic() - started) / len(batch_order)
+                for index, value in zip(batch_order, payloads):
+                    finish(index, value, per_job)
+        else:
+            # One lockstep chunk per worker; a chunk is the retry/timeout
+            # unit (execute_jobs charges and respawns per chunk), and a
+            # chunk that still fails degrades to per-job scalar fallback.
+            chunk_count = min(workers, len(batch_order))
+            chunk_ix = [
+                batch_order[offset::chunk_count]
+                for offset in range(chunk_count)
+            ]
+            outcomes = execute_jobs(
+                [[items[index] for index in chunk] for chunk in chunk_ix],
+                worker=_run_batch_chunk,
+                keys=[f"batch-chunk{offset}" for offset in range(chunk_count)],
+                workers=workers,
+                policy=policy,
+                events=EventLog(),  # chunk lifecycle stays off the run stream
+            )
+            elapsed = time.monotonic() - started
+            per_job = elapsed / len(batch_order)
+            for chunk, (tag, value) in zip(chunk_ix, outcomes):
+                if tag != OK:
+                    for index in chunk:
+                        log.emit(
+                            JOB_RETRY,
+                            job=key_list[index],
+                            attempt=1,
+                            reason=f"batch chunk failed: {value}",
+                        )
+                    scalar.extend(chunk)
+                else:
+                    for index, payload in zip(chunk, value):
+                        finish(index, payload, per_job)
+            finished = sum(
+                len(chunk)
+                for chunk, (tag, _) in zip(chunk_ix, outcomes)
+                if tag == OK
+            )
+            log.emit(
+                BATCH_PROGRESS,
+                done=finished,
+                total=len(batch_order),
+                sims_per_s=(
+                    round(finished / elapsed, 1) if elapsed > 0 else None
+                ),
+            )
+
+    if scalar:
+        scalar.sort()
+        outcomes = execute_jobs(
+            [jobs[index] for index in scalar],
+            keys=[key_list[index] for index in scalar],
+            workers=workers,
+            policy=policy,
+            journal=journal,
+            events=log,
+            annotate=_split_fold_count,
+        )
+        for index, outcome in zip(scalar, outcomes):
+            results[index] = outcome
+    return [
+        outcome if outcome is not None else (DROPPED, "not executed")
+        for outcome in results
+    ]
+
+
+def _run_batch_chunk_with_progress(items: list, progress) -> list:
+    """Inline variant of :func:`_run_batch_chunk` that streams progress."""
+    from ..sim.batch import run_batch_payloads
+
+    return run_batch_payloads(items, progress)
 
 
 @dataclass(frozen=True)
@@ -642,10 +852,10 @@ def _sweep_fingerprint(
     """JSON-able identity of a sweep, for journal header validation.
 
     Execution-mode knobs (``collect_trace``, ``fold``, ``workers``,
-    timeouts) are deliberately absent: the engine guarantees identical
-    metrics in every mode, so a journal written stats-only or folded
-    resumes a trace-mode sweep -- and vice versa -- with bitwise-equal
-    payloads.  A non-default ``power_model`` *is* part of the identity
+    ``backend``, timeouts) are deliberately absent: the engine
+    guarantees identical metrics in every mode, so a journal written
+    stats-only, folded, or on the batch backend resumes a trace-mode
+    pool sweep -- and vice versa -- with bitwise-equal payloads.  A non-default ``power_model`` *is* part of the identity
     (it changes every energy payload); the default (None) is omitted so
     journals recorded before the knob existed still resume.
     """
@@ -686,6 +896,7 @@ def utilization_sweep(
     power_model: Optional[PowerModel] = None,
     tasksets_by_bin: Optional[Dict[Tuple[float, float], List[TaskSet]]] = None,
     workers: int = 1,
+    backend: str = "pool",
     journal_path: Optional[str] = None,
     resume: bool = False,
     job_timeout: Optional[float] = None,
@@ -718,6 +929,17 @@ def utilization_sweep(
             persistent process pool spanning every bin; results are
             identical to the sequential run (each run is deterministic
             given its scenario).
+        backend: execution backend, one of :data:`SWEEP_BACKENDS`.
+            ``"pool"`` (default) runs one scalar engine per job --
+            inline at ``workers=1``, over the process pool above.
+            ``"batch"`` advances every batchable job in lockstep on the
+            vectorized numpy kernel (one batch per worker) and falls
+            back to the scalar engine per job for the rest; payloads,
+            journal rows, and aggregates are byte-identical to the pool
+            backend, so journals resume across backends.  Requires
+            numpy (``pip install repro[batch]``), otherwise raises
+            :class:`~repro.errors.ConfigurationError`.  ``"serial"``
+            forces the inline scalar path regardless of ``workers``.
         journal_path: JSONL checkpoint file; every finished job is
             appended so a crashed or interrupted sweep can resume.
         resume: load completed jobs from ``journal_path`` (validated
@@ -757,6 +979,16 @@ def utilization_sweep(
         )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if backend not in SWEEP_BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {SWEEP_BACKENDS}"
+        )
+    if backend == "batch":
+        from ..sim.batch import require_numpy
+
+        require_numpy()
+    if backend == "serial":
+        workers = 1
     if resume and not journal_path:
         raise ConfigurationError("resume=True requires journal_path")
     if fold and collect_trace:
@@ -804,6 +1036,9 @@ def utilization_sweep(
     # meta rows: (bin key, scheme, global set counter, index within bin).
     meta: List[Tuple[Tuple[float, float], str, int, int]] = []
     job_keys: List[str] = []
+    # (taskset, scheme, scenario) per job, for the batch backend's
+    # parent-side batchability resolution (references, not copies).
+    batch_specs: List[Tuple[TaskSet, str, Optional[FaultScenario]]] = []
     populated: List[Tuple[Tuple[float, float], int]] = []
     set_counter = 0
     for bin_range in bins:
@@ -820,6 +1055,7 @@ def utilization_sweep(
             set_counter += 1
             for scheme in schemes:
                 meta.append((key, scheme, counter, index))
+                batch_specs.append((taskset, scheme, scenario))
                 # Journal keys are worker-count independent (a sweep
                 # journaled sequentially resumes in parallel and vice
                 # versa): position for generated workloads, digest for
@@ -848,6 +1084,7 @@ def utilization_sweep(
         RUN_START,
         jobs=len(jobs),
         workers=workers,
+        backend=backend,
         resume=bool(resume),
         journal=journal_path or None,
     )
@@ -857,16 +1094,30 @@ def utilization_sweep(
         journal = RunJournal(journal_path)
         completed = journal.start(fingerprint, log.run_id, resume=resume)
     try:
-        results = execute_jobs(
-            jobs,
-            keys=job_keys,
-            workers=workers,
-            policy=policy,
-            journal=journal,
-            completed=completed,
-            events=log,
-            annotate=_split_fold_count,
-        )
+        if backend == "batch":
+            results = _execute_batch_jobs(
+                jobs,
+                job_keys,
+                batch_specs,
+                workers=workers,
+                policy=policy,
+                journal=journal,
+                completed=completed,
+                events=log,
+                horizon_cap_units=horizon_cap_units,
+                power_model=power_model,
+            )
+        else:
+            results = execute_jobs(
+                jobs,
+                keys=job_keys,
+                workers=workers,
+                policy=policy,
+                journal=journal,
+                completed=completed,
+                events=log,
+                annotate=_split_fold_count,
+            )
     finally:
         if journal is not None:
             journal.close()

@@ -98,7 +98,7 @@ class Job:
         "processor",
         "completion_time",
         "started_at",
-        "name",
+        "_name",
         "queue_key",
     )
 
@@ -135,8 +135,17 @@ class Job:
         self.processor = processor
         self.completion_time: Optional[int] = None
         self.started_at: Optional[int] = None
-        self.name = name or f"J{task_index + 1},{job_index}"
+        self._name = name
         self.queue_key: "tuple[int, ...]" = (task_index, job_index)
+
+    @property
+    def name(self) -> str:
+        """Human-readable label ``J<i>,<j>``, built on demand.
+
+        Only trace logging and ``repr`` read it, so the common stats-only
+        path never pays for the f-string.
+        """
+        return self._name or f"J{self.task_index + 1},{self.job_index}"
 
     @property
     def executed(self) -> int:

@@ -112,6 +112,33 @@ class MKSSGreedy(SchedulingPolicy):
             optional_preemption=self.optional_preemption,
         )
 
+    def batch_profile(self, ctx: PolicyContext):
+        # FD classification with no upper bound on the optional degree;
+        # optionals are pinned (never alternating) and keep running on the
+        # survivor after a fault.  Non-preemptive optionals map to the
+        # kernel's sticky-optional dispatch rule.
+        from ..sim.batch_profile import (
+            UNBOUNDED_FD,
+            BatchProfile,
+            BatchTaskProfile,
+        )
+
+        return BatchProfile(
+            tasks=tuple(
+                BatchTaskProfile(
+                    classification="fd",
+                    fd_max=UNBOUNDED_FD,
+                    main_processor=PRIMARY,
+                    backup_offset=self._promotions[index],
+                    optional_processor=self._optional_processor,
+                    postfault_main_offset=(0, self._promotions[index]),
+                    postfault_optionals=True,
+                )
+                for index in range(len(ctx.taskset))
+            ),
+            sticky_optionals=not self.optional_preemption,
+        )
+
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # All decisions derive from the flexibility degree (part of the
         # engine's canonical state) and constants fixed at prepare().

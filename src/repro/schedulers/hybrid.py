@@ -218,6 +218,40 @@ class MKSSHybrid(SchedulingPolicy):
                 )
         return ConformanceSpec(scheme=self.name, tasks=tuple(tasks))
 
+    def batch_profile(self, ctx: PolicyContext):
+        # Selective-mode tasks follow Algorithm 1's FD rule (optionals at
+        # FD = 1 only, never post-fault); DP-mode tasks follow their
+        # static R-pattern with no optionals.  Both postpone backups by
+        # θ_i and use the Y_i survivor offset post-fault.
+        from ..sim.batch_profile import BatchProfile, BatchTaskProfile
+
+        tasks = []
+        for index in range(len(ctx.taskset)):
+            shared = dict(
+                main_processor=PRIMARY,
+                backup_offset=self._postponements[index],
+                postfault_main_offset=(0, self._promotions[index]),
+            )
+            if self._selective_mode[index]:
+                tasks.append(
+                    BatchTaskProfile(
+                        classification="fd",
+                        fd_max=1,
+                        optional_processor=PRIMARY,
+                        alternate_optionals=self.alternate,
+                        **shared,
+                    )
+                )
+            else:
+                tasks.append(
+                    BatchTaskProfile(
+                        classification="pattern",
+                        pattern_window=tuple(self._patterns[index].window()),
+                        **shared,
+                    )
+                )
+        return BatchProfile(tasks=tuple(tasks))
+
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Mutable state: per-task optional-processor alternation plus the
         # DP-mode tasks' static pattern phase (R-patterns, so always

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.promotion import promotion_times
 from ..model.job import JobRole
-from ..model.patterns import Pattern, RPattern
+from ..model.patterns import Pattern, RPattern, is_window_periodic
 from ..sim.engine import (
     PRIMARY,
     SPARE,
@@ -167,6 +167,34 @@ class MKSSDualPriority(SchedulingPolicy):
                 )
             )
         return ConformanceSpec(scheme=self.name, tasks=tuple(tasks))
+
+    def batch_profile(self, ctx: PolicyContext):
+        # Pattern-mandatory only; mains split per _assign_mains, backups
+        # on the other processor postponed by Y_i.  Post-fault a task
+        # whose main lived on the survivor releases at r, otherwise it
+        # keeps the Y_i postponement (mirrors plan_release exactly).
+        assert self._patterns is not None
+        if not all(is_window_periodic(p) for p in self._patterns):
+            return None
+        from ..sim.batch_profile import BatchProfile, BatchTaskProfile
+
+        tasks = []
+        for index, pattern in enumerate(self._patterns):
+            promotion = self._promotions[index]
+            main_proc = self.main_processor(index)
+            tasks.append(
+                BatchTaskProfile(
+                    classification="pattern",
+                    pattern_window=tuple(pattern.window()),
+                    main_processor=main_proc,
+                    backup_offset=promotion,
+                    postfault_main_offset=(
+                        0 if main_proc == PRIMARY else promotion,
+                        0 if main_proc == SPARE else promotion,
+                    ),
+                )
+            )
+        return BatchProfile(tasks=tuple(tasks))
 
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Promotions and main placement are fixed at prepare(); the only

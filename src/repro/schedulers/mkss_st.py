@@ -94,6 +94,28 @@ class MKSSStatic(SchedulingPolicy):
             ),
         )
 
+    def batch_profile(self, ctx: PolicyContext):
+        # Pattern-mandatory only, both copies at the nominal release,
+        # post-fault mains land on the survivor immediately.  Supplied
+        # patterns that are not window-periodic cannot be expressed as a
+        # k-bit mask, so those runs stay on the scalar engine.
+        assert self._patterns is not None
+        if not all(is_window_periodic(p) for p in self._patterns):
+            return None
+        from ..sim.batch_profile import BatchProfile, BatchTaskProfile
+
+        return BatchProfile(
+            tasks=tuple(
+                BatchTaskProfile(
+                    classification="pattern",
+                    pattern_window=tuple(pattern.window()),
+                    main_processor=PRIMARY,
+                    backup_offset=0,
+                )
+                for pattern in self._patterns
+            ),
+        )
+
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # The only release-to-release variation is the pattern phase.
         return self.fold_state_from_patterns(self._patterns, pattern_phases)

@@ -111,6 +111,28 @@ class ReExecutionFP(SchedulingPolicy):
             max_copies=1 + self.max_recoveries,
         )
 
+    def batch_profile(self, ctx: PolicyContext):
+        # FD classification, single copy, no backups.  Recoveries only
+        # trigger on transient faults, which the batch kernel excludes
+        # up front, so the recovery ledger never activates in a batched
+        # run.  With two processors ``_target`` is always the survivor
+        # in fault mode, which is exactly the kernel's post-fault rule.
+        from ..sim.batch_profile import BatchProfile, BatchTaskProfile
+
+        return BatchProfile(
+            tasks=tuple(
+                BatchTaskProfile(
+                    classification="fd",
+                    fd_max=self.fd_threshold,
+                    main_processor=self._processor,
+                    backup_offset=None,
+                    optional_processor=self._processor,
+                    postfault_optionals=True,
+                )
+                for _ in ctx.taskset
+            ),
+        )
+
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # Recovery budgets only accrue after transient faults, and the
         # engine arms folding only when transients are impossible -- so

@@ -175,6 +175,29 @@ class MKSSSelective(SchedulingPolicy):
             ),
         )
 
+    def batch_profile(self, ctx: PolicyContext):
+        # FD classification with optionals in [1, fd_threshold]; backups
+        # postponed by θ_i (or Y_i), post-fault mains offset by Y_i on the
+        # spare; optionals alternate per task unless pinned, and stop
+        # after a fault unless optionals_after_fault.
+        from ..sim.batch_profile import BatchProfile, BatchTaskProfile
+
+        return BatchProfile(
+            tasks=tuple(
+                BatchTaskProfile(
+                    classification="fd",
+                    fd_max=self.fd_threshold,
+                    main_processor=PRIMARY,
+                    backup_offset=self._postponements[index],
+                    optional_processor=PRIMARY,
+                    alternate_optionals=self.alternate,
+                    postfault_main_offset=(0, self._promotions[index]),
+                    postfault_optionals=self.optionals_after_fault,
+                )
+                for index in range(len(ctx.taskset))
+            ),
+        )
+
     def fold_state(self, ctx: PolicyContext, pattern_phases):
         # The optional-processor alternation is the only mutable state;
         # everything else (θ, Y) is fixed at prepare().

@@ -1,0 +1,80 @@
+"""Declarative per-scheme release rules for the batch kernel.
+
+The scalar engine asks its policy one :meth:`plan_release` question per
+released job.  The batch kernel (:mod:`repro.sim.batch`) cannot afford a
+Python callback per (simulation, release) pair, so a policy that wants to
+run batched publishes a :class:`BatchProfile` instead: a closed-form,
+per-task description of every decision :meth:`plan_release` could make --
+classification rule, copy placement, postponement offsets, and the
+post-fault variants.  The kernel evaluates those rules over whole arrays
+of simulations at once.
+
+A profile is a *claim of equivalence*: for every reachable release state
+(flexibility degree, job index, fault mode) the profile must reproduce the
+policy's plan exactly, or the batch results would diverge from the scalar
+engine's.  Policies whose decisions do not fit this vocabulary (e.g.
+supplied patterns that are not window-periodic, or mutable state beyond
+the optional-processor alternation) return None from
+:meth:`~repro.sim.engine.SchedulingPolicy.batch_profile`, and the harness
+falls back to the scalar engine for those simulations.
+
+Vocabulary, mirroring the shipped schemes:
+
+* classification ``"pattern"``: mandatory iff the window bit at phase
+  ``(job_index - 1) mod k`` is set; non-mandatory jobs are skipped.
+* classification ``"fd"``: mandatory iff the flexibility degree is 0;
+  optional iff ``1 <= fd <= fd_max``; skipped otherwise.
+* Fault-free mandatory jobs place a MAIN copy on ``main_processor`` at
+  the release tick, plus -- when ``backup_offset`` is not None -- a
+  BACKUP copy on the other processor postponed by that offset.
+* Fault-free optional jobs run a single copy, either alternating per
+  task starting from the primary (``alternate_optionals``) or pinned to
+  ``optional_processor``.
+* After a permanent fault, mandatory jobs run a single MAIN copy on the
+  survivor postponed by ``postfault_main_offset[survivor]``; optional
+  jobs continue on the survivor only if ``postfault_optionals``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Stand-in for "no upper bound" on the optional flexibility degree
+#: (the greedy scheme executes every FD >= 1 job).  Any value above the
+#: largest possible degree (k - m < k <= 2**16) behaves identically.
+UNBOUNDED_FD = 1 << 20
+
+
+@dataclass(frozen=True)
+class BatchTaskProfile:
+    """Closed-form release rules for one task under one policy."""
+
+    classification: str  # "pattern" | "fd"
+    pattern_window: Optional[Tuple[int, ...]] = None  # k bits, pattern tasks
+    fd_max: int = 0
+    main_processor: int = 0
+    backup_offset: Optional[int] = None  # None = no backup copy
+    optional_processor: int = 0
+    alternate_optionals: bool = False
+    postfault_main_offset: Tuple[int, int] = (0, 0)  # indexed by survivor
+    postfault_optionals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.classification not in ("pattern", "fd"):
+            raise ValueError(
+                f"classification must be 'pattern' or 'fd', "
+                f"got {self.classification!r}"
+            )
+        if self.classification == "pattern" and self.pattern_window is None:
+            raise ValueError("pattern classification needs a pattern_window")
+
+
+@dataclass(frozen=True)
+class BatchProfile:
+    """One policy's complete batch-execution contract."""
+
+    tasks: Tuple[BatchTaskProfile, ...] = field(default_factory=tuple)
+    #: True when a dispatched optional holds its processor until it
+    #: finishes or becomes infeasible (``optional_preemption=False``).
+    sticky_optionals: bool = False

@@ -207,6 +207,20 @@ class SchedulingPolicy:
         return None
 
 
+    def batch_profile(self, ctx: PolicyContext):
+        """Closed-form release rules for the batch kernel, or None.
+
+        Called on a *prepared* policy (after :meth:`prepare`).  Returning
+        a :class:`~repro.sim.batch_profile.BatchProfile` asserts that for
+        every reachable release state the profile reproduces this
+        policy's :meth:`plan_release` exactly, so the vectorized kernel
+        (:mod:`repro.sim.batch`) may simulate it without per-release
+        callbacks.  The default None keeps the policy on the scalar
+        engine -- the safe answer for any policy whose decisions are not
+        provably expressible in the profile vocabulary.
+        """
+        return None
+
     def conformance(self, ctx: PolicyContext):
         """Scheme-specific invariant suite for the conformance auditor.
 
@@ -487,8 +501,14 @@ class StandbySparingEngine:
         # equals job order.
         tr_k = [task.mk.k for task in taskset]
         tr_m = [task.mk.m for task in taskset]
-        tr_window = [deque(maxlen=k) for k in tr_k]
+        # Windows are packed into plain ints (bit 0 = newest outcome,
+        # bit k-1 = oldest); ``tr_len`` counts outcomes seen until the
+        # window first fills.  (mask, length) encodes the deque contents
+        # bijectively, so snapshots stay canonical.
+        tr_window = [0] * task_count
+        tr_len = [0] * task_count
         tr_ones = [0] * task_count
+        tr_kmask = [(1 << k) - 1 for k in tr_k]
 
         # Heap entries are (time, kind, seq, a, b); ``a``/``b`` are the
         # kind-specific arguments (task/job indices, a Job, a processor).
@@ -560,16 +580,19 @@ class StandbySparingEngine:
                     stats.effective += 1
                 else:
                     stats.missed += 1
-                window = tr_window[task_index]
+                bit = 1 if effective else 0
                 k = tr_k[task_index]
-                if len(window) == k:
-                    tr_ones[task_index] -= window[0]
-                if effective:
-                    window.append(1)
-                    tr_ones[task_index] += 1
+                win = tr_window[task_index]
+                count = tr_len[task_index]
+                if count == k:
+                    ones = tr_ones[task_index] - ((win >> (k - 1)) & 1) + bit
                 else:
-                    window.append(0)
-                if len(window) == k and tr_ones[task_index] < tr_m[task_index]:
+                    count += 1
+                    tr_len[task_index] = count
+                    ones = tr_ones[task_index] + bit
+                tr_ones[task_index] = ones
+                tr_window[task_index] = ((win << 1) | bit) & tr_kmask[task_index]
+                if count == k and ones < tr_m[task_index]:
                     stats.violations[task_index] += 1
             histories[task_index].record(effective)
 
@@ -884,7 +907,7 @@ class StandbySparingEngine:
                         alive,
                         ctx.dead_processor,
                         histories,
-                        tuple(tuple(w) for w in tr_window),
+                        tuple(zip(tr_window, tr_len)),
                         heap,
                         mjq,
                         ojq,

@@ -1,0 +1,342 @@
+"""Differential tests: the batch kernel vs the scalar engine's modes.
+
+The batch backend (:mod:`repro.sim.batch`) advances many independent
+simulations in lockstep over numpy arrays.  Its contract is *bit
+identity* with the scalar trace engine -- not statistical agreement --
+so these tests compare the full observable state (the RunStats ledger,
+per-processor busy counts, released-job counts, the permanent-fault
+record, energies, violation counts) across four execution modes: batch,
+trace, stats-only, and folded.
+
+They also pin the harness composition: a ``backend="batch"`` sweep must
+produce byte-identical journal rows to the pool backend, resume a
+pool-written journal (and vice versa), fall back to the scalar engine
+per job mid-batch when a job is not batchable (transient faults
+possible), and keep ``validate`` sampling coverage identical when every
+job was journal-resumed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scenario import FaultScenario
+from repro.harness.events import EventLog
+from repro.harness.runner import SCHEME_FACTORIES, run_scheme
+from repro.harness.sweep import utilization_sweep
+from repro.sim.batch import (
+    build_batch_item,
+    numpy_available,
+    run_batch,
+    run_batch_payloads,
+)
+from repro.workload.generator import TaskSetGenerator
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the batch backend requires numpy"
+)
+
+SCHEMES = sorted(SCHEME_FACTORIES)
+
+
+def result_view(result):
+    """Aggregates every execution mode exposes (trace mode has no
+    RunStats ledger, so this is the common observable surface)."""
+    return (
+        result.busy_by_processor,
+        result.released_jobs,
+        result.permanent_fault,
+    )
+
+
+def stats_view(result):
+    """Every aggregate the sweep (and energy accounting) can observe."""
+    stats = result.stats
+    return (
+        stats.busy,
+        stats.gap_counts,
+        stats.released,
+        stats.effective,
+        stats.missed,
+        stats.mandatory,
+        stats.optional_executed,
+        stats.skipped,
+        stats.violations,
+    ) + result_view(result)
+
+
+def scenario_for(seed: int):
+    """Rotate fault regimes: fault-free, drawn permfault, pinned early."""
+    kind = seed % 3
+    if kind == 1:
+        return FaultScenario.permanent_only(seed=60 + seed)
+    if kind == 2:
+        return FaultScenario.permanent_only(
+            processor=seed % 2, tick=11, seed=1
+        )
+    return None
+
+
+class TestBatchScalarAgreement:
+    """Generated workloads x schemes x fault regimes x horizons."""
+
+    SEEDS = range(18)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_modes_agree(self, seed):
+        target = 0.3 + 0.05 * (seed % 8)
+        taskset = TaskSetGenerator(seed=4000 + seed).generate(target)
+        scheme = SCHEMES[seed % len(SCHEMES)]
+        horizon = (150, 300, 600)[seed % 3]
+        scenario = scenario_for(seed)
+        item = build_batch_item(
+            taskset, scheme, scenario, horizon_cap_units=horizon
+        )
+        assert item is not None, "permanent-only jobs must be batchable"
+        batch_result = run_batch([item])[0]
+        batch_energy, batch_violations, folded = run_batch_payloads([item])[0]
+        assert folded == 0  # the kernel never folds
+
+        views = {"batch": stats_view(batch_result)}
+        for mode, kwargs in (
+            ("trace", dict(collect_trace=True)),
+            ("stats", dict(collect_trace=False)),
+            ("fold", dict(collect_trace=False, fold=True)),
+        ):
+            outcome = run_scheme(
+                taskset,
+                scheme,
+                scenario=scenario,
+                horizon_cap_units=horizon,
+                **kwargs,
+            )
+            if mode == "trace":
+                assert result_view(outcome.result) == result_view(
+                    batch_result
+                )
+            else:
+                views[mode] = stats_view(outcome.result)
+            assert outcome.total_energy == batch_energy, mode
+            assert outcome.metrics.mk_violations == batch_violations, mode
+        assert views["batch"] == views["stats"] == views["fold"], scheme
+
+    def test_mixed_lockstep_batch(self):
+        """Many sims with different schemes/scenarios in ONE kernel run."""
+        items, expected = [], []
+        for seed in range(12):
+            taskset = TaskSetGenerator(seed=7000 + seed).generate(
+                0.3 + 0.04 * (seed % 6)
+            )
+            scheme = SCHEMES[seed % len(SCHEMES)]
+            scenario = scenario_for(seed)
+            item = build_batch_item(
+                taskset, scheme, scenario, horizon_cap_units=250
+            )
+            assert item is not None
+            items.append(item)
+            expected.append((taskset, scheme, scenario))
+        results = run_batch(items)
+        assert len(results) == len(items)
+        for (taskset, scheme, scenario), batch_result in zip(
+            expected, results
+        ):
+            scalar = run_scheme(
+                taskset,
+                scheme,
+                scenario=scenario,
+                horizon_cap_units=250,
+                collect_trace=False,
+            )
+            assert stats_view(batch_result) == stats_view(scalar.result), (
+                scheme
+            )
+
+
+def journal_job_rows(path):
+    """``{key: canonical-json(value)}`` of a journal's job records."""
+    rows = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            doc = json.loads(line)
+            if doc.get("kind") == "job":
+                rows[doc["key"]] = json.dumps(doc["value"], sort_keys=True)
+    return rows
+
+
+SWEEP_KW = dict(
+    bins=[(0.3, 0.4), (0.7, 0.8)],
+    sets_per_bin=2,
+    seed=42,
+    horizon_cap_units=250,
+)
+
+
+class TestSweepBackend:
+    """backend='batch' composed with journals, resume, and fallback."""
+
+    def test_payloads_and_journal_match_pool(self, tmp_path):
+        pool_journal = tmp_path / "pool.jsonl"
+        batch_journal = tmp_path / "batch.jsonl"
+        factory = lambda i: FaultScenario.permanent_only(seed=500 + i)  # noqa: E731
+        pool = utilization_sweep(
+            journal_path=str(pool_journal),
+            scenario_factory=factory,
+            **SWEEP_KW,
+        )
+        log = EventLog()
+        batch = utilization_sweep(
+            journal_path=str(batch_journal),
+            scenario_factory=factory,
+            backend="batch",
+            events=log,
+            **SWEEP_KW,
+        )
+        assert batch.job_payloads == pool.job_payloads
+        assert journal_job_rows(batch_journal) == journal_job_rows(
+            pool_journal
+        )
+        assert log.of_kind("batch_progress"), "batch emits progress events"
+        for bucket_pool, bucket_batch in zip(pool.bins, batch.bins):
+            assert bucket_pool.mean_energy == bucket_batch.mean_energy
+            assert (
+                bucket_pool.mk_violation_count
+                == bucket_batch.mk_violation_count
+            )
+
+    def test_mid_batch_scalar_fallback_mix(self):
+        """Transient-capable jobs fall back to the scalar engine per job."""
+
+        def factory(index):
+            if index % 2:
+                return FaultScenario.permanent_and_transient(seed=index)
+            return FaultScenario.permanent_only(seed=index)
+
+        pool = utilization_sweep(scenario_factory=factory, **SWEEP_KW)
+        log = EventLog()
+        batch = utilization_sweep(
+            scenario_factory=factory,
+            backend="batch",
+            events=log,
+            **SWEEP_KW,
+        )
+        assert batch.job_payloads == pool.job_payloads
+        # The mix really was mixed: some jobs batched, some ran scalar
+        # (scalar jobs are the ones that get JOB_START events).
+        scalar_jobs = {e.data["job"] for e in log.of_kind("job_start")}
+        assert scalar_jobs and len(scalar_jobs) < len(batch.job_payloads)
+
+    def test_cross_backend_partial_resume(self, tmp_path):
+        """A half-complete pool journal finishes on the batch backend."""
+        journal = tmp_path / "resume.jsonl"
+        factory = lambda i: FaultScenario.permanent_only(seed=900 + i)  # noqa: E731
+        pool = utilization_sweep(
+            journal_path=str(journal), scenario_factory=factory, **SWEEP_KW
+        )
+        full_rows = journal_job_rows(journal)
+        # Truncate the journal to its first half of job records.
+        kept, job_seen = [], 0
+        for line in journal.read_text(encoding="utf-8").splitlines():
+            doc = json.loads(line)
+            if doc.get("kind") == "job":
+                job_seen += 1
+                if job_seen > len(full_rows) // 2:
+                    continue
+            kept.append(line)
+        journal.write_text(
+            "\n".join(kept) + "\n", encoding="utf-8"
+        )
+        log = EventLog()
+        resumed = utilization_sweep(
+            journal_path=str(journal),
+            resume=True,
+            backend="batch",
+            scenario_factory=factory,
+            events=log,
+            **SWEEP_KW,
+        )
+        assert resumed.job_payloads == pool.job_payloads
+        assert journal_job_rows(journal) == full_rows
+        counts = log.counts()
+        assert counts.get("job_skip") == len(full_rows) // 2
+
+    def test_validate_covers_resumed_jobs(self, tmp_path):
+        """Auditor sampling is identical when every job was resumed."""
+        journal = tmp_path / "validated.jsonl"
+        fresh_log = EventLog()
+        utilization_sweep(
+            journal_path=str(journal),
+            validate=2,
+            events=fresh_log,
+            **SWEEP_KW,
+        )
+        resumed_log = EventLog()
+        resumed = utilization_sweep(
+            journal_path=str(journal),
+            resume=True,
+            validate=2,
+            backend="batch",
+            events=resumed_log,
+            **SWEEP_KW,
+        )
+        fresh_audits = [
+            (e.data["job"], e.data["scheme"])
+            for e in fresh_log.of_kind("validate")
+        ]
+        resumed_audits = [
+            (e.data["job"], e.data["scheme"])
+            for e in resumed_log.of_kind("validate")
+        ]
+        assert fresh_audits and fresh_audits == resumed_audits
+        assert resumed_log.counts().get("job_skip") == len(
+            resumed.job_payloads
+        )
+        assert not resumed.validation_issues
+
+
+class TestNumpyAbsence:
+    """Graceful degradation when numpy is not importable."""
+
+    def test_sweep_raises_configuration_error(self, monkeypatch):
+        import repro.sim.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "_np", None)
+        with pytest.raises(ConfigurationError) as excinfo:
+            utilization_sweep(backend="batch", **SWEEP_KW)
+        assert "repro[batch]" in str(excinfo.value)
+        assert "--backend pool" in str(excinfo.value)
+
+    def test_build_batch_item_returns_none(self, monkeypatch):
+        import repro.sim.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "_np", None)
+        taskset = TaskSetGenerator(seed=1).generate(0.4)
+        assert (
+            build_batch_item(taskset, SCHEMES[0], horizon_cap_units=100)
+            is None
+        )
+
+    def test_cli_falls_back_to_pool(self, monkeypatch, capsys):
+        import repro.sim.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "_np", None)
+        from repro.cli import main
+
+        rc = main(
+            [
+                "sweep",
+                "--backend",
+                "batch",
+                "--bins",
+                "0.3:0.4",
+                "--sets-per-bin",
+                "1",
+                "--horizon",
+                "150",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "falling back to pool" in captured.err

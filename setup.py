@@ -13,5 +13,6 @@ setup(
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
         "batch": ["numpy>=2.0"],
+        "service": [],
     }
 )

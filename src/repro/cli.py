@@ -227,6 +227,7 @@ def cmd_sweep(args) -> int:
         backend=backend,
         journal_path=args.journal or None,
         resume=args.resume,
+        force_new=args.force_new,
         job_timeout=args.job_timeout or None,
         events=log,
         collect_trace=collect_trace,
@@ -386,6 +387,24 @@ def cmd_validate(args) -> int:
     return 0 if total == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        per_tenant=args.per_tenant,
+        executors=args.executors,
+        sweep_workers=args.sweep_workers,
+        retry_after_s=args.retry_after,
+        force_new=args.force_new,
+        throttle_s=args.throttle_s,
+    )
+    return serve(config)
+
+
 def cmd_examples(args) -> int:
     for name, taskset in motivation_tasksets().items():
         print(f"{name}: {taskset}")
@@ -488,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="resume completed jobs from the --journal file",
+    )
+    sweep.add_argument(
+        "--force-new",
+        dest="force_new",
+        action="store_true",
+        help="with --resume, overwrite a journal that cannot be resumed "
+        "(corrupt/truncated header, fingerprint from a different sweep) "
+        "instead of refusing; a healthy journal still resumes",
     )
     sweep.add_argument(
         "--job-timeout",
@@ -650,6 +677,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=20200309, help="fault scenario seed"
     )
     validate.set_defaults(func=cmd_validate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP server",
+        description=(
+            "Long-running scheduling-analysis server: submit sweep specs "
+            "over HTTP (POST /v1/sweeps), stream progress events (SSE / "
+            "NDJSON), and fetch canonical results.  Results are cached by "
+            "sweep fingerprint, jobs checkpoint into per-sweep journals, "
+            "and a restarted server resumes interrupted sweeps with "
+            "byte-identical final results."
+        ),
+    )
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        help="root directory for the service's durable state "
+        "(jobs/, journals/, results/, events/)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 = pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="max jobs queued or running across all tenants; beyond it "
+        "submissions get 429 with Retry-After",
+    )
+    serve.add_argument(
+        "--per-tenant",
+        type=int,
+        default=8,
+        help="max jobs queued or running per X-Tenant value",
+    )
+    serve.add_argument(
+        "--executors",
+        type=int,
+        default=1,
+        help="concurrent sweeps (worker loops)",
+    )
+    serve.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=1,
+        help="process workers inside each sweep",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=int,
+        default=5,
+        metavar="S",
+        help="Retry-After seconds sent with 429 responses",
+    )
+    serve.add_argument(
+        "--force-new",
+        action="store_true",
+        help="overwrite a job's journal when it cannot be resumed "
+        "(corrupt/truncated header, foreign fingerprint) instead of "
+        "failing the job; healthy journals still resume",
+    )
+    serve.add_argument(
+        "--throttle-s",
+        type=float,
+        default=0.0,
+        help="pause this long after each finished simulation (test/demo "
+        "knob for observing mid-run state)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     examples = sub.add_parser("examples", help="list the paper's presets")
     examples.set_defaults(func=cmd_examples)

@@ -72,13 +72,20 @@ EVENT_KINDS = (
 
 @dataclass(frozen=True)
 class SweepEvent:
-    """One timestamped, run-ID-stamped observation."""
+    """One timestamped, run-ID-stamped observation.
+
+    ``timestamp`` is wall-clock time (``time.time``) for humans and log
+    correlation; ``elapsed_s`` is the monotonic offset from the log's
+    creation.  Durations must be computed from ``elapsed_s`` --
+    wall-clock differences go negative or jump under NTP adjustment.
+    """
 
     run_id: str
     seq: int
     kind: str
     timestamp: float
     data: Dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serializable representation (one journal/JSONL line)."""
@@ -87,6 +94,7 @@ class SweepEvent:
             "seq": self.seq,
             "kind": self.kind,
             "timestamp": self.timestamp,
+            "elapsed_s": self.elapsed_s,
             "data": dict(self.data),
         }
 
@@ -101,7 +109,15 @@ class EventLog:
             emitted -- e.g. ``print`` for live progress, or a queue
             feeding a dashboard.  Sink errors are deliberately not
             swallowed: observability must not silently degrade.
-        clock: timestamp source (injectable for deterministic tests).
+        clock: wall-clock timestamp source (injectable for deterministic
+            tests).  Used only for the human-facing ``timestamp`` field,
+            never for duration math.
+        monotonic: steady clock used for ``elapsed_s`` and every
+            duration derived from the stream (:meth:`run_seconds`,
+            :meth:`seconds_between`).  ``time.time`` here would make
+            durations negative/garbage under NTP adjustment -- the
+            default is :func:`time.monotonic` and tests inject jumping
+            wall clocks to prove durations do not care.
     """
 
     def __init__(
@@ -109,11 +125,14 @@ class EventLog:
         run_id: Optional[str] = None,
         sink: Optional[Callable[[SweepEvent], None]] = None,
         clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         self.run_id = run_id or uuid.uuid4().hex[:12]
         self.events: List[SweepEvent] = []
         self._sink = sink
         self._clock = clock
+        self._monotonic = monotonic
+        self._epoch = monotonic()
 
     def emit(self, kind: str, **data: Any) -> SweepEvent:
         """Record one event and forward it to the sink, if any."""
@@ -123,6 +142,7 @@ class EventLog:
             kind=kind,
             timestamp=self._clock(),
             data=data,
+            elapsed_s=self._monotonic() - self._epoch,
         )
         self.events.append(event)
         if self._sink is not None:
@@ -139,6 +159,27 @@ class EventLog:
         for event in self.events:
             tally[event.kind] = tally.get(event.kind, 0) + 1
         return tally
+
+    def seconds_between(self, first: SweepEvent, second: SweepEvent) -> float:
+        """Steady-clock seconds elapsed from ``first`` to ``second``.
+
+        Uses the events' monotonic ``elapsed_s`` offsets, so the answer
+        is immune to wall-clock steps between the two emissions.
+        """
+        return second.elapsed_s - first.elapsed_s
+
+    def run_seconds(self) -> Optional[float]:
+        """Monotonic duration of the run, or None before RUN_FINISH.
+
+        Measured from the first :data:`RUN_START` to the last
+        :data:`RUN_FINISH` on the steady clock -- never from wall
+        timestamps, which can step backwards under NTP adjustment.
+        """
+        starts = self.of_kind(RUN_START)
+        finishes = self.of_kind(RUN_FINISH)
+        if not starts or not finishes:
+            return None
+        return self.seconds_between(starts[0], finishes[-1])
 
     def job_wall_seconds(self) -> List[float]:
         """Per-job wall times of every finished job, in finish order."""

@@ -121,6 +121,7 @@ def _run_panel(
     backend: str = "pool",
     journal_path: Optional[str] = None,
     resume: bool = False,
+    force_new: bool = False,
     job_timeout: Optional[float] = None,
     events=None,
     collect_trace: bool = True,
@@ -152,6 +153,7 @@ def _run_panel(
         backend=backend,
         journal_path=journal_path,
         resume=resume,
+        force_new=force_new,
         job_timeout=job_timeout,
         events=events,
         collect_trace=collect_trace,

@@ -21,9 +21,22 @@ survive a JSON round trip exactly, a resumed sweep's result is bitwise
 identical to an uninterrupted run.
 
 Robustness rules: each record is flushed as it is written; a truncated
-*final* line (the telltale of a crash mid-write) is ignored on load;
-any other malformed line raises :class:`~repro.errors.ConfigurationError`
-rather than being guessed at.  Duplicate keys keep the last record.
+*final* job line (the telltale of a crash mid-write) is ignored on load;
+a truncated or corrupt **header** can never be silently dropped -- the
+whole file's identity is unverifiable -- so it raises
+:class:`~repro.errors.ConfigurationError` with an explicit recovery hint,
+and ``start(..., force_new=True)`` is the acknowledged escape hatch that
+discards an unresumable journal and starts fresh (``--force-new`` on the
+CLI / service).  Any other malformed line raises
+:class:`~repro.errors.ConfigurationError` rather than being guessed at.
+Duplicate keys keep the last record.
+
+Concurrent writers: a journal is a single-writer file -- two sweeps
+appending to the same path would interleave records and poison a later
+resume.  :meth:`RunJournal.start` therefore takes an advisory lock
+(``flock`` where available, an ``O_EXCL`` lockfile otherwise) held until
+:meth:`RunJournal.close`; a second writer gets a clear
+:class:`~repro.errors.ConfigurationError` instead of silent interleaving.
 """
 
 from __future__ import annotations
@@ -33,6 +46,11 @@ import os
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+
+try:  # pragma: no cover - platform-dependent import
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: Journal schema version; bumped on incompatible format changes.
 JOURNAL_VERSION = 1
@@ -53,6 +71,7 @@ class RunJournal:
     def __init__(self, path: str) -> None:
         self._path = str(path)
         self._handle = None
+        self._lockfile_fd: Optional[int] = None
 
     @property
     def path(self) -> str:
@@ -79,6 +98,19 @@ class RunJournal:
             try:
                 doc = json.loads(line)
             except ValueError as exc:
+                if position == 0:
+                    # A truncated *job* record is a recoverable crash
+                    # artifact; a truncated/corrupt *header* is not --
+                    # the file's identity (version, fingerprint) is
+                    # gone, so resuming would be a guess.  Refuse with
+                    # the recovery spelled out instead of surfacing a
+                    # bare JSON parse error.
+                    raise ConfigurationError(
+                        f"journal {self._path}: header line is corrupt or "
+                        f"truncated ({exc}); the journal cannot be resumed "
+                        "-- discard it by starting without resume, or pass "
+                        "force_new (--force-new) to overwrite it"
+                    ) from exc
                 if position == len(documents) - 1:
                     break  # crash mid-write: drop the partial record
                 raise ConfigurationError(
@@ -117,6 +149,7 @@ class RunJournal:
         fingerprint: Dict[str, Any],
         run_id: str,
         resume: bool = False,
+        force_new: bool = False,
     ) -> Dict[str, Any]:
         """Open the journal for a run; returns ``{key: value}`` to skip.
 
@@ -126,32 +159,104 @@ class RunJournal:
         raises :class:`ConfigurationError` instead.  A missing file under
         ``resume=True`` simply starts fresh (first run of a resumable
         campaign).  With ``resume=False`` any existing file is truncated.
+
+        ``force_new=True`` is the operator's escape hatch for a journal
+        that *cannot* be resumed (corrupt/truncated header, unsupported
+        version, fingerprint from a different sweep): instead of raising,
+        the unresumable file is truncated and the run starts fresh.  A
+        healthy matching journal still resumes normally under
+        ``force_new`` -- the flag never discards usable work.
+
+        Starting takes an advisory writer lock on the journal, held until
+        :meth:`close`; a second concurrent writer raises
+        :class:`ConfigurationError` rather than interleaving records.
         """
         if self._handle is not None:
             raise ConfigurationError(f"journal {self._path} already started")
-        if resume and self.exists():
-            header, entries = self.load()
-            if header is None:
+        existed = self.exists()
+        # Lock before anything destructive: opening with "w" would
+        # truncate a live writer's file before the conflict is noticed,
+        # so open in append mode, lock, and only then truncate if needed.
+        handle = open(self._path, "a", encoding="utf-8")
+        try:
+            self._acquire_lock(handle)
+        except ConfigurationError:
+            handle.close()
+            raise
+        self._handle = handle
+        try:
+            if resume and existed:
+                try:
+                    header, entries = self.load()
+                except ConfigurationError:
+                    if not force_new:
+                        raise
+                    header, entries = None, {}
+                else:
+                    if header is None and not force_new:
+                        raise ConfigurationError(
+                            f"journal {self._path} has no readable header "
+                            "(empty, or truncated before the header was "
+                            "flushed); pass force_new (--force-new) to "
+                            "overwrite it"
+                        )
+                    if (
+                        header is not None
+                        and header.get("fingerprint") != fingerprint
+                    ):
+                        if not force_new:
+                            raise ConfigurationError(
+                                f"journal {self._path} was recorded for a "
+                                "different sweep (fingerprint mismatch); "
+                                "refusing to resume"
+                            )
+                        header, entries = None, {}
+                if header is not None:
+                    return {key: doc["value"] for key, doc in entries.items()}
+            self._handle.truncate(0)
+            self._write(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "run_id": run_id,
+                    "fingerprint": fingerprint,
+                }
+            )
+            return {}
+        except BaseException:
+            self.close()
+            raise
+
+    def _acquire_lock(self, handle) -> None:
+        """Take the single-writer advisory lock or raise.
+
+        POSIX: ``flock`` on the journal handle itself -- released by the
+        kernel even if the process dies, so no stale-lock cleanup.
+        Elsewhere: an ``O_EXCL`` ``<path>.lock`` file recording the
+        writer's pid, removed on :meth:`close` (a crash can leave it
+        behind; the error says which file to delete).
+        """
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError as exc:
                 raise ConfigurationError(
-                    f"journal {self._path} has no readable header"
-                )
-            if header.get("fingerprint") != fingerprint:
-                raise ConfigurationError(
-                    f"journal {self._path} was recorded for a different "
-                    "sweep (fingerprint mismatch); refusing to resume"
-                )
-            self._handle = open(self._path, "a", encoding="utf-8")
-            return {key: doc["value"] for key, doc in entries.items()}
-        self._handle = open(self._path, "w", encoding="utf-8")
-        self._write(
-            {
-                "kind": "header",
-                "version": JOURNAL_VERSION,
-                "run_id": run_id,
-                "fingerprint": fingerprint,
-            }
-        )
-        return {}
+                    f"journal {self._path} is locked by another writer "
+                    "(a concurrent sweep or server worker is appending to "
+                    "it); point each writer at its own journal path"
+                ) from exc
+            return
+        lock_path = self._path + ".lock"  # pragma: no cover - non-POSIX
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError as exc:
+            raise ConfigurationError(
+                f"journal {self._path} is locked by another writer "
+                f"(lockfile {lock_path} exists); if no writer is alive, "
+                "delete the lockfile"
+            ) from exc
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        self._lockfile_fd = fd
 
     def record(
         self,
@@ -182,8 +287,15 @@ class RunJournal:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            self._handle.close()  # closing releases the flock, if any
             self._handle = None
+        if self._lockfile_fd is not None:  # pragma: no cover - non-POSIX
+            os.close(self._lockfile_fd)
+            try:
+                os.unlink(self._path + ".lock")
+            except OSError:
+                pass
+            self._lockfile_fd = None
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -11,14 +11,26 @@ import json
 from typing import Any, Dict, List, Tuple
 
 from ..errors import ConfigurationError
-from .sweep import BinResult, DroppedSet, SweepResult
+from ..sim.validation import ValidationIssue
+from .sweep import BinResult, DroppedSet, SweepResult, SweepValidation
+
+#: :class:`SweepResult` fields deliberately absent from the serialized
+#: document.  ``run_id`` is random per run: a resumed sweep must
+#: serialize to exactly the JSON its uninterrupted twin would have
+#: produced, so the id cannot enter the document.  Every other dataclass
+#: field must round-trip -- the completeness test in
+#: ``tests/unit/test_store.py`` introspects the dataclass against this
+#: set, so adding a field without serializing it fails loudly.
+EXCLUDED_SWEEP_FIELDS = frozenset({"run_id"})
 
 
 def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
     """A JSON-serializable representation of a sweep result.
 
-    Deliberately excludes the ``run_id``: a resumed sweep must serialize
-    to exactly the JSON its uninterrupted twin would have produced.
+    Covers every :class:`SweepResult` field except
+    :data:`EXCLUDED_SWEEP_FIELDS`; the result store and the analysis
+    service serve documents produced here, so a field this function
+    drops is a field no client can ever see.
     """
     return {
         "schemes": list(sweep.schemes),
@@ -46,6 +58,20 @@ def sweep_to_dict(sweep: SweepResult) -> Dict[str, Any]:
             }
             for entry in sweep.dropped
         ],
+        "validation_issues": [
+            {
+                "job": item.job,
+                "scheme": item.scheme,
+                "mode": item.mode,
+                "kind": item.issue.kind,
+                "detail": item.issue.detail,
+            }
+            for item in sweep.validation_issues
+        ],
+        "job_payloads": {
+            key: list(payload)
+            for key, payload in sweep.job_payloads.items()
+        },
     }
 
 
@@ -81,6 +107,22 @@ def sweep_from_dict(payload: Dict[str, Any]) -> SweepResult:
                     reason=str(entry["reason"]),
                 )
             )
+        # Both keys are .get() so documents written before the fields
+        # existed still load (as empty, exactly what they recorded).
+        for entry in payload.get("validation_issues", []):
+            sweep.validation_issues.append(
+                SweepValidation(
+                    job=str(entry["job"]),
+                    scheme=str(entry["scheme"]),
+                    mode=str(entry["mode"]),
+                    issue=ValidationIssue(
+                        kind=str(entry["kind"]), detail=str(entry["detail"])
+                    ),
+                )
+            )
+        for key, value in payload.get("job_payloads", {}).items():
+            energy, mk_violations = value
+            sweep.job_payloads[str(key)] = (float(energy), int(mk_violations))
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed sweep document: {exc}") from exc
     return sweep

@@ -89,12 +89,15 @@ ScenarioFactory = Callable[[int], FaultScenario]
 OK = "ok"
 DROPPED = "dropped"
 
-#: Execution backends accepted by :func:`utilization_sweep`.  ``pool``
+#: The stock execution backends of :func:`utilization_sweep`.  ``pool``
 #: is the classic per-job path (inline at ``workers=1``, process pool
 #: above); ``serial`` forces the inline path regardless of ``workers``;
 #: ``batch`` advances every batchable job in lockstep on the vectorized
 #: kernel (:mod:`repro.sim.batch`) and falls back to the scalar engine
-#: per job for the rest.
+#: per job for the rest.  Each name resolves to an
+#: :class:`ExecutionDriver` via :func:`resolve_driver`; custom drivers
+#: registered with :func:`register_driver` extend the accepted set
+#: beyond this tuple.
 SWEEP_BACKENDS = ("pool", "batch", "serial")
 
 
@@ -751,6 +754,163 @@ def execute_jobs(
     ]
 
 
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """Everything an execution driver needs to run one sweep's jobs.
+
+    Built once by :func:`utilization_sweep` and handed to the configured
+    :class:`ExecutionDriver`; bundling the arguments keeps driver
+    signatures stable as the harness grows knobs.
+
+    Attributes:
+        jobs: picklable job descriptors (see :func:`_run_one`).
+        keys: deterministic journal key per job, aligned with ``jobs``.
+        specs: ``(taskset, scheme, scenario)`` per job -- parent-side
+            references for drivers that resolve work themselves (the
+            batch kernel's batchability check) rather than through the
+            descriptors.
+        workers: process count granted to the driver (1 = inline).
+        policy: timeout/retry/backoff knobs.
+        journal: started journal to append finished jobs to, or None.
+        completed: ``{key: payload}`` resumed from the journal.
+        events: the run's event log.
+        horizon_cap_units: simulation horizon cap per job.
+        power_model: energy model shared by every job (None = default).
+    """
+
+    jobs: Sequence[Any]
+    keys: Sequence[str]
+    specs: Sequence[Tuple[TaskSet, str, Optional[FaultScenario]]]
+    workers: int
+    policy: ExecutionPolicy
+    journal: Optional[RunJournal]
+    completed: Dict[str, Any]
+    events: EventLog
+    horizon_cap_units: int
+    power_model: Optional[PowerModel]
+
+
+class ExecutionDriver:
+    """How a sweep's jobs get executed, as a pluggable strategy.
+
+    One driver instance serves the CLI's process pool, the vectorized
+    batch backend, and the analysis service's worker loop -- they all
+    funnel through :func:`utilization_sweep`, which resolves a driver by
+    name (``backend=``) or takes one directly (``driver=``).  Custom
+    drivers (e.g. a multi-host dispatcher) subclass this, implement
+    :meth:`execute`, and either register themselves via
+    :func:`register_driver` or are passed per call.
+
+    The contract: return one ``(tag, payload)`` per job, aligned with
+    ``request.jobs``, journaling each fresh job under its key -- exactly
+    :func:`execute_jobs`'s semantics.  Payloads must be byte-identical
+    across drivers (the engine guarantees the metrics are), so journals
+    and cached results are driver-portable.
+    """
+
+    #: Registry key; also the ``backend=`` spelling that selects it.
+    name: str = "abstract"
+    #: True forces ``workers=1`` (the driver never fans out processes).
+    inline_only: bool = False
+
+    def ensure_available(self) -> None:
+        """Raise :class:`ConfigurationError` if dependencies are missing."""
+
+    def execute(self, request: ExecutionRequest) -> List[Tuple[str, Any]]:
+        raise NotImplementedError
+
+
+class PoolDriver(ExecutionDriver):
+    """The classic per-job scalar path: inline at ``workers=1``, one
+    persistent process pool above."""
+
+    name = "pool"
+
+    def execute(self, request: ExecutionRequest) -> List[Tuple[str, Any]]:
+        return execute_jobs(
+            request.jobs,
+            keys=request.keys,
+            workers=request.workers,
+            policy=request.policy,
+            journal=request.journal,
+            completed=request.completed,
+            events=request.events,
+            annotate=_split_fold_count,
+        )
+
+
+class SerialDriver(PoolDriver):
+    """The inline scalar path, regardless of the ``workers`` setting."""
+
+    name = "serial"
+    inline_only = True
+
+
+class BatchDriver(ExecutionDriver):
+    """Lockstep execution on the vectorized numpy kernel, with per-job
+    scalar fallback for jobs the kernel cannot take."""
+
+    name = "batch"
+
+    def ensure_available(self) -> None:
+        from ..sim.batch import require_numpy
+
+        require_numpy()
+
+    def execute(self, request: ExecutionRequest) -> List[Tuple[str, Any]]:
+        return _execute_batch_jobs(
+            request.jobs,
+            request.keys,
+            request.specs,
+            workers=request.workers,
+            policy=request.policy,
+            journal=request.journal,
+            completed=request.completed,
+            events=request.events,
+            horizon_cap_units=request.horizon_cap_units,
+            power_model=request.power_model,
+        )
+
+
+#: Name -> driver registry behind ``utilization_sweep(backend=...)``.
+_DRIVERS: Dict[str, ExecutionDriver] = {}
+
+
+def register_driver(driver: ExecutionDriver, replace: bool = False) -> None:
+    """Register an :class:`ExecutionDriver` under its ``name``.
+
+    Third-party drivers use this to become addressable as a ``backend``
+    string (CLI ``--backend``, service sweep specs).  Re-registering an
+    existing name requires ``replace=True`` -- silently shadowing the
+    stock drivers would change results delivery for every caller.
+    """
+    if not driver.name or driver.name == ExecutionDriver.name:
+        raise ConfigurationError(
+            f"driver {driver!r} needs a concrete name to be registered"
+        )
+    if driver.name in _DRIVERS and not replace:
+        raise ConfigurationError(
+            f"driver {driver.name!r} is already registered; pass "
+            "replace=True to shadow it"
+        )
+    _DRIVERS[driver.name] = driver
+
+
+def resolve_driver(backend: str) -> ExecutionDriver:
+    """Look up the registered driver for a backend name."""
+    driver = _DRIVERS.get(backend)
+    if driver is None:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {sorted(_DRIVERS)}"
+        )
+    return driver
+
+
+for _driver in (PoolDriver(), BatchDriver(), SerialDriver()):
+    register_driver(_driver)
+del _driver
+
+
 @dataclass
 class BinResult:
     """Aggregated results for one (m,k)-utilization bin."""
@@ -897,8 +1057,10 @@ def utilization_sweep(
     tasksets_by_bin: Optional[Dict[Tuple[float, float], List[TaskSet]]] = None,
     workers: int = 1,
     backend: str = "pool",
+    driver: Optional["ExecutionDriver"] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    force_new: bool = False,
     job_timeout: Optional[float] = None,
     max_retries: int = 2,
     retry_backoff: float = 0.0,
@@ -940,10 +1102,20 @@ def utilization_sweep(
             numpy (``pip install repro[batch]``), otherwise raises
             :class:`~repro.errors.ConfigurationError`.  ``"serial"``
             forces the inline scalar path regardless of ``workers``.
+            Names resolve through the driver registry
+            (:func:`register_driver`), so custom drivers are selectable
+            here too.
+        driver: an :class:`ExecutionDriver` instance used directly,
+            bypassing the registry lookup; ``backend`` is ignored when
+            given.  The CLI pool, the batch kernel, and the analysis
+            service's worker loop all run through this one seam.
         journal_path: JSONL checkpoint file; every finished job is
             appended so a crashed or interrupted sweep can resume.
         resume: load completed jobs from ``journal_path`` (validated
             against this sweep's fingerprint) and run only the rest.
+        force_new: with ``resume=True``, overwrite a journal that cannot
+            be resumed (corrupt/truncated header, fingerprint mismatch)
+            instead of raising; a healthy matching journal still resumes.
         job_timeout: per-job wall-clock budget in seconds (parallel runs
             only); a job over budget is retried, then dropped as a pair.
         max_retries: retry budget per job before its pair is dropped.
@@ -979,15 +1151,10 @@ def utilization_sweep(
         )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if backend not in SWEEP_BACKENDS:
-        raise ConfigurationError(
-            f"unknown backend {backend!r}; choose from {SWEEP_BACKENDS}"
-        )
-    if backend == "batch":
-        from ..sim.batch import require_numpy
-
-        require_numpy()
-    if backend == "serial":
+    if driver is None:
+        driver = resolve_driver(backend)
+    driver.ensure_available()
+    if driver.inline_only:
         workers = 1
     if resume and not journal_path:
         raise ConfigurationError("resume=True requires journal_path")
@@ -1084,7 +1251,7 @@ def utilization_sweep(
         RUN_START,
         jobs=len(jobs),
         workers=workers,
-        backend=backend,
+        backend=driver.name,
         resume=bool(resume),
         journal=journal_path or None,
     )
@@ -1092,13 +1259,15 @@ def utilization_sweep(
     completed: Dict[str, Any] = {}
     if journal_path:
         journal = RunJournal(journal_path)
-        completed = journal.start(fingerprint, log.run_id, resume=resume)
+        completed = journal.start(
+            fingerprint, log.run_id, resume=resume, force_new=force_new
+        )
     try:
-        if backend == "batch":
-            results = _execute_batch_jobs(
-                jobs,
-                job_keys,
-                batch_specs,
+        results = driver.execute(
+            ExecutionRequest(
+                jobs=jobs,
+                keys=job_keys,
+                specs=batch_specs,
                 workers=workers,
                 policy=policy,
                 journal=journal,
@@ -1107,17 +1276,7 @@ def utilization_sweep(
                 horizon_cap_units=horizon_cap_units,
                 power_model=power_model,
             )
-        else:
-            results = execute_jobs(
-                jobs,
-                keys=job_keys,
-                workers=workers,
-                policy=policy,
-                journal=journal,
-                completed=completed,
-                events=log,
-                annotate=_split_fold_count,
-            )
+        )
     finally:
         if journal is not None:
             journal.close()

@@ -1,0 +1,81 @@
+"""Server configuration for the scheduling-analysis service."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one ``repro-mk serve`` instance.
+
+    Attributes:
+        data_dir: root of the service's durable state.  Layout:
+            ``jobs/<digest>.json`` (job records), ``journals/<digest>
+            .jsonl`` (per-sweep checkpoint journals -- the durable
+            queue), ``results/<digest>.json`` (canonical result
+            documents), ``events/<digest>.jsonl`` (append-only event
+            history).
+        host / port: listen address; ``port=0`` binds an ephemeral port
+            (the chosen one is printed and returned by ``start()``).
+        queue_capacity: bound on jobs queued or running across all
+            tenants; submissions beyond it get ``429`` with a
+            ``Retry-After`` header instead of unbounded memory growth.
+        per_tenant: bound on one tenant's queued-or-running jobs (the
+            ``X-Tenant`` request header names the tenant).
+        executors: concurrent sweep-running worker tasks.  Each runs one
+            sweep at a time in a thread; the sweep itself may fan out
+            further via ``sweep_workers``.
+        sweep_workers: ``workers=`` handed to every sweep job (process
+            count inside one sweep).
+        retry_after_s: value of the ``Retry-After`` backpressure header.
+        force_new: start a job's sweep over when its journal cannot be
+            resumed (corrupt/truncated header, foreign fingerprint)
+            instead of failing the job -- the server-side ``--force-new``
+            escape hatch.  Healthy journals always resume either way.
+        throttle_s: test/ops knob: sleep this long in the event sink
+            after every finished job, pacing the sweep so integration
+            tests (and demos) can observe and interrupt mid-run states
+            deterministically.  0 disables.
+    """
+
+    data_dir: str
+    host: str = "127.0.0.1"
+    port: int = 8080
+    queue_capacity: int = 16
+    per_tenant: int = 8
+    executors: int = 1
+    sweep_workers: int = 1
+    retry_after_s: int = 5
+    force_new: bool = False
+    throttle_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.data_dir:
+            raise ConfigurationError("service data_dir must be set")
+        if self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.per_tenant < 1:
+            raise ConfigurationError(
+                f"per_tenant must be >= 1, got {self.per_tenant}"
+            )
+        if self.executors < 1:
+            raise ConfigurationError(
+                f"executors must be >= 1, got {self.executors}"
+            )
+        if self.sweep_workers < 1:
+            raise ConfigurationError(
+                f"sweep_workers must be >= 1, got {self.sweep_workers}"
+            )
+        if self.throttle_s < 0:
+            raise ConfigurationError(
+                f"throttle_s must be >= 0, got {self.throttle_s}"
+            )
+
+    def path(self, *parts: str) -> str:
+        return os.path.join(self.data_dir, *parts)

@@ -1,0 +1,228 @@
+"""The service's sweep-spec wire format.
+
+A :class:`SweepSpec` is the canonical description of one sweep request:
+which Figure-6 fault panel, which bins/schemes/seed/horizon, which
+execution knobs.  Validation happens here, once, at the edge -- every
+later layer (queue, worker, store) trusts the spec.
+
+Identity: :meth:`SweepSpec.identity` extends the journal fingerprint
+(:func:`repro.harness.sweep._sweep_fingerprint`) with the fault regime,
+because fault draws are deliberately *not* part of the journal
+fingerprint (they are rebuilt deterministically by the scenario factory)
+yet absolutely change the result a client gets back.  Two specs with
+equal :meth:`digest` are served the same stored result; execution-mode
+knobs (backend, collect_trace, fold, validate=0) are excluded from the
+identity exactly like the journal fingerprint excludes them -- the
+engine guarantees identical payloads in every mode, so a result computed
+on the batch backend is a legitimate cache hit for a pool-backend
+submission.  A nonzero ``validate`` *is* part of the identity: it adds
+``validation_issues`` to the served document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..harness.protocol import DEFAULT_BINS, ExperimentProtocol
+from ..harness.runner import PAPER_SCHEMES, SCHEME_FACTORIES
+from ..harness.sweep import _sweep_fingerprint, resolve_driver
+
+#: Fault regimes, mapping onto the Figure 6 panels.
+FAULT_REGIMES = ("none", "permanent", "transient")
+
+
+def _default_scale() -> ExperimentProtocol:
+    return ExperimentProtocol.smoke()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One validated sweep request.
+
+    Scale defaults follow the smoke protocol (the ``repro-mk sweep``
+    CLI's defaults), so a bare ``{"faults": "none"}`` submission is a
+    quick, well-defined sweep.
+    """
+
+    faults: str = "none"
+    bins: Tuple[Tuple[float, float], ...] = tuple(DEFAULT_BINS)
+    schemes: Tuple[str, ...] = tuple(PAPER_SCHEMES)
+    reference_scheme: str = "MKSS_ST"
+    sets_per_bin: int = field(default_factory=lambda: _default_scale().sets_per_bin)
+    seed: int = field(default_factory=lambda: _default_scale().seed)
+    horizon_cap_units: int = field(
+        default_factory=lambda: _default_scale().horizon_cap_units
+    )
+    backend: str = "pool"
+    collect_trace: bool = False
+    fold: bool = False
+    validate: int = 0
+
+    def __post_init__(self) -> None:
+        if self.faults not in FAULT_REGIMES:
+            raise ConfigurationError(
+                f"unknown faults regime {self.faults!r}; "
+                f"choose from {FAULT_REGIMES}"
+            )
+        unknown = sorted(set(self.schemes) - set(SCHEME_FACTORIES))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scheme(s) {unknown}; known: "
+                f"{sorted(SCHEME_FACTORIES)}"
+            )
+        if self.reference_scheme not in self.schemes:
+            raise ConfigurationError(
+                f"reference scheme {self.reference_scheme!r} must be in "
+                f"{list(self.schemes)}"
+            )
+        resolve_driver(self.backend)  # raises on unknown backend names
+        for lo, hi in self.bins:
+            if not lo < hi:
+                raise ConfigurationError(f"bad bin [{lo}, {hi}): need lo < hi")
+        if self.sets_per_bin < 1:
+            raise ConfigurationError(
+                f"sets_per_bin must be >= 1, got {self.sets_per_bin}"
+            )
+        if self.horizon_cap_units < 1:
+            raise ConfigurationError(
+                f"horizon_cap_units must be >= 1, got {self.horizon_cap_units}"
+            )
+        if self.validate < 0:
+            raise ConfigurationError(
+                f"validate must be >= 0, got {self.validate}"
+            )
+        if self.fold and self.collect_trace:
+            raise ConfigurationError(
+                "fold=true requires collect_trace=false"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        """Build a spec from a submitted JSON document, strictly.
+
+        Unknown keys are rejected -- a typoed knob silently falling back
+        to its default would hand the client a sweep it did not ask for
+        (and a cache key it did not expect).
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"sweep spec must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep-spec key(s) {unknown}; known: {sorted(known)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        try:
+            if "faults" in payload:
+                kwargs["faults"] = str(payload["faults"])
+            if "bins" in payload:
+                kwargs["bins"] = tuple(
+                    (float(lo), float(hi)) for lo, hi in payload["bins"]
+                )
+            if "schemes" in payload:
+                kwargs["schemes"] = tuple(str(s) for s in payload["schemes"])
+            if "reference_scheme" in payload:
+                kwargs["reference_scheme"] = str(payload["reference_scheme"])
+            for key in ("sets_per_bin", "seed", "horizon_cap_units", "validate"):
+                if key in payload:
+                    kwargs[key] = int(payload[key])
+            if "backend" in payload:
+                kwargs["backend"] = str(payload["backend"])
+            for key in ("collect_trace", "fold"):
+                if key in payload:
+                    value = payload[key]
+                    if not isinstance(value, bool):
+                        raise ConfigurationError(
+                            f"{key} must be a JSON boolean, got {value!r}"
+                        )
+                    kwargs[key] = value
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed sweep spec: {exc}") from exc
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-able document (inverse of :meth:`from_dict`)."""
+        return {
+            "faults": self.faults,
+            "bins": [[lo, hi] for lo, hi in self.bins],
+            "schemes": list(self.schemes),
+            "reference_scheme": self.reference_scheme,
+            "sets_per_bin": self.sets_per_bin,
+            "seed": self.seed,
+            "horizon_cap_units": self.horizon_cap_units,
+            "backend": self.backend,
+            "collect_trace": self.collect_trace,
+            "fold": self.fold,
+            "validate": self.validate,
+        }
+
+    def journal_fingerprint(self) -> Dict[str, Any]:
+        """The fingerprint the job's :class:`RunJournal` header carries."""
+        return _sweep_fingerprint(
+            list(self.bins),
+            list(self.schemes),
+            self.sets_per_bin,
+            self.reference_scheme,
+            None,  # generator config: service sweeps use the defaults
+            self.seed,
+            self.horizon_cap_units,
+            None,  # workload is always generated server-side
+            None,  # power model: the paper default
+        )
+
+    def identity(self) -> Dict[str, Any]:
+        """The result-cache identity (journal fingerprint + fault regime)."""
+        identity = dict(self.journal_fingerprint())
+        identity["faults"] = self.faults
+        if self.validate:
+            identity["validate"] = self.validate
+        return identity
+
+    def digest(self) -> str:
+        """Stable hex key for the store, the journal path, and the job id."""
+        blob = json.dumps(self.identity(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        force_new: bool = False,
+        events=None,
+    ):
+        """Execute this spec exactly as the CLI would run the panel.
+
+        Thin wrapper over the Figure-6 panel functions so a service job,
+        a CLI sweep, and a test's direct reference run share one code
+        path -- the byte-identity guarantees hang off that.
+        """
+        from ..harness.figures import fig6a, fig6b, fig6c
+
+        panel = {"none": fig6a, "permanent": fig6b, "transient": fig6c}[
+            self.faults
+        ]
+        return panel(
+            bins=list(self.bins),
+            schemes=list(self.schemes),
+            sets_per_bin=self.sets_per_bin,
+            seed=self.seed,
+            horizon_cap_units=self.horizon_cap_units,
+            workers=workers,
+            backend=self.backend,
+            journal_path=journal_path,
+            resume=resume,
+            force_new=force_new,
+            events=events,
+            collect_trace=self.collect_trace,
+            fold=self.fold,
+            validate=self.validate,
+        )

@@ -1,0 +1,87 @@
+"""Persistent, digest-keyed result store for the service.
+
+One canonical JSON document per sweep digest.  "Canonical" is doing the
+load-bearing work: the bytes written here are exactly
+``canonical_result_bytes(sweep)``, which any other holder of the same
+:class:`~repro.harness.sweep.SweepResult` -- a direct CLI run, a test's
+reference sweep, a resumed-after-crash server job -- can recompute and
+compare byte for byte.  That is what makes "restart the server mid-run
+and the fetched result is identical to an uninterrupted run" a testable
+guarantee instead of a hope.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a crash mid-write leaves either the old document or none -- never a
+torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from ..harness.store import sweep_to_dict
+from ..harness.sweep import SweepResult
+
+
+def canonical_result_bytes(sweep: SweepResult) -> bytes:
+    """The one true serialization of a sweep result.
+
+    Sorted keys and fixed indentation make the bytes a function of the
+    sweep's *content* alone; ``run_id`` is already excluded by
+    :func:`sweep_to_dict`, so resumed and uninterrupted runs of the same
+    spec serialize identically.
+    """
+    document = sweep_to_dict(sweep)
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+class ResultStore:
+    """Digest-keyed directory of canonical result documents."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self.path(digest))
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        try:
+            with open(self.path(digest), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def put(self, digest: str, sweep: SweepResult) -> bytes:
+        """Store ``sweep`` under ``digest``; returns the stored bytes."""
+        return self.put_bytes(digest, canonical_result_bytes(sweep))
+
+    def put_bytes(self, digest: str, payload: bytes) -> bytes:
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=f".{digest}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return payload
+
+    def digests(self) -> Iterator[str]:
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".json") and not name.startswith("."):
+                yield name[: -len(".json")]

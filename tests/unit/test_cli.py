@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main, parse_taskset
@@ -230,6 +232,30 @@ class TestCommands:
         code = main(base + ["--bins", "0.5:0.6", "--resume"])
         assert code == 2
         assert "different sweep" in capsys.readouterr().err
+
+    def test_sweep_force_new_recovers_corrupt_journal(self, capsys, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        base = [
+            "sweep",
+            "--sets-per-bin",
+            "1",
+            "--horizon",
+            "300",
+            "--bins",
+            "0.4:0.5",
+            "--journal",
+            str(journal),
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        # Byte-truncate the header: --resume must refuse with the
+        # recovery hint, and --resume --force-new must start over.
+        journal.write_bytes(journal.read_bytes()[:20])
+        assert main(base + ["--resume"]) == 2
+        assert "force-new" in capsys.readouterr().err
+        assert main(base + ["--resume", "--force-new"]) == 0
+        header = json.loads(journal.read_text().splitlines()[0])
+        assert header["kind"] == "header"
 
 
 class TestParseBins:

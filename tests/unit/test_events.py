@@ -8,6 +8,7 @@ from repro.harness.events import (
     JOB_DROP,
     JOB_FINISH,
     JOB_RETRY,
+    RUN_FINISH,
     RUN_START,
     EventLog,
     SweepEvent,
@@ -70,6 +71,50 @@ class TestEventLog:
         assert docs[0]["run_id"] == "run42"
         assert docs[1]["data"] == {"job": "j1", "wall_s": 0.25}
         assert [doc["seq"] for doc in docs] == [0, 1]
+
+    def test_durations_survive_wall_clock_jumps(self):
+        # Regression: durations used to be derivable only from the
+        # wall-clock `timestamp`, which steps under NTP adjustment.  An
+        # injected wall clock that jumps 1000 s *backwards* mid-run must
+        # not affect any duration: those come from the monotonic clock.
+        wall = iter([1_000_000.0, 999_000.0, 999_001.0])
+        steady = iter([50.0, 50.0, 50.25, 51.5])  # first read = log epoch
+        log = EventLog(clock=lambda: next(wall), monotonic=lambda: next(steady))
+        start = log.emit(RUN_START, jobs=1)
+        middle = log.emit(JOB_FINISH, job="j0", wall_s=0.2)
+        finish = log.emit(RUN_FINISH, completed=1, dropped=0)
+        # Wall timestamps keep the (jumping) observed values...
+        assert [e.timestamp for e in (start, middle, finish)] == [
+            1_000_000.0, 999_000.0, 999_001.0,
+        ]
+        # ...but every duration is monotonic-derived and non-negative.
+        assert log.seconds_between(start, middle) == 0.25
+        assert log.run_seconds() == 1.5
+        assert all(
+            later.elapsed_s >= earlier.elapsed_s
+            for earlier, later in zip(log.events, log.events[1:])
+        )
+
+    def test_run_seconds_none_before_finish(self):
+        log = EventLog()
+        assert log.run_seconds() is None
+        log.emit(RUN_START, jobs=1)
+        assert log.run_seconds() is None
+        log.emit(RUN_FINISH, completed=1, dropped=0)
+        assert log.run_seconds() is not None and log.run_seconds() >= 0.0
+
+    def test_elapsed_persisted_in_jsonl(self, tmp_path):
+        steady = iter([0.0, 2.0])
+        log = EventLog(
+            run_id="run42", clock=lambda: 99.0,
+            monotonic=lambda: next(steady),
+        )
+        log.emit(RUN_START, jobs=1)
+        path = tmp_path / "events.jsonl"
+        log.write_jsonl(str(path))
+        doc = json.loads(path.read_text().splitlines()[0])
+        assert doc["timestamp"] == 99.0
+        assert doc["elapsed_s"] == 2.0
 
     def test_event_to_dict_is_json_safe(self):
         event = SweepEvent(

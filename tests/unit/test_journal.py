@@ -167,3 +167,139 @@ class TestRobustness:
             journal.record("a", 1)
         _, entries = RunJournal(str(tmp_path / "j.jsonl")).load()
         assert set(entries) == {"a"}
+
+
+class TestCorruptHeader:
+    """A truncated/corrupt *header* must refuse clearly, never guess.
+
+    Regression: a header cut mid-byte used to fall into the
+    truncated-final-line tolerance (single-line file) or surface as an
+    opaque JSON parse error, bricking a durable-queue restart.
+    """
+
+    def _truncated_header(self, tmp_path, keep_bytes=25):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", [1.5, 0])
+        journal.close()
+        raw = path.read_bytes()
+        header_line = raw.splitlines(keepends=True)[0]
+        assert len(header_line) > keep_bytes
+        path.write_bytes(raw[:keep_bytes])  # byte-truncated header
+        return path
+
+    def test_truncated_header_is_a_clear_error(self, tmp_path):
+        path = self._truncated_header(tmp_path)
+        with pytest.raises(ConfigurationError, match="corrupt or truncated"):
+            RunJournal(str(path)).load()
+        with pytest.raises(ConfigurationError, match="force-new"):
+            started(path, resume=True)
+
+    def test_truncated_header_with_trailing_records(self, tmp_path):
+        # Corrupt header followed by intact job lines: still the header
+        # error, not the generic "malformed line" one.
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0][:20] + "\n" + "".join(lines[1:]))
+        with pytest.raises(ConfigurationError, match="header line is corrupt"):
+            RunJournal(str(path)).load()
+
+    def test_force_new_overwrites_corrupt_header(self, tmp_path):
+        path = self._truncated_header(tmp_path)
+        journal = RunJournal(str(path))
+        completed = journal.start(FP, run_id="r2", resume=True, force_new=True)
+        journal.record("b", 2)
+        journal.close()
+        assert completed == {}
+        header, entries = RunJournal(str(path)).load()
+        assert header is not None and header["fingerprint"] == FP
+        assert set(entries) == {"b"}
+
+    def test_force_new_overwrites_fingerprint_mismatch(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", 1)
+        journal.close()
+        other = dict(FP, seed=8)
+        journal = RunJournal(str(path))
+        completed = journal.start(other, "r2", resume=True, force_new=True)
+        journal.close()
+        assert completed == {}
+        header, _ = RunJournal(str(path)).load()
+        assert header["fingerprint"] == other
+
+    def test_force_new_still_resumes_healthy_journal(self, tmp_path):
+        # The escape hatch never discards usable work: a matching,
+        # readable journal resumes exactly as without the flag.
+        path = tmp_path / "j.jsonl"
+        journal, _ = started(path)
+        journal.record("a", [1.0, 0])
+        journal.close()
+        journal = RunJournal(str(path))
+        completed = journal.start(FP, "r2", resume=True, force_new=True)
+        journal.close()
+        assert completed == {"a": [1.0, 0]}
+
+
+class TestConcurrentWriters:
+    def test_second_writer_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first, _ = started(path)
+        first.record("a", 1)
+        with pytest.raises(ConfigurationError, match="another writer"):
+            RunJournal(str(path)).start(FP, run_id="r2", resume=True)
+        # The loser must not have truncated or corrupted the journal.
+        first.record("b", 2)
+        first.close()
+        header, entries = RunJournal(str(path)).load()
+        assert header is not None and set(entries) == {"a", "b"}
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first, _ = started(path)
+        first.close()
+        second, completed = started(path, resume=True)
+        second.close()
+        assert completed == {}
+
+    def test_second_writer_process_refused(self, tmp_path):
+        # Cross-process: a child process must see the parent's lock.
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        import repro
+
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        path = tmp_path / "j.jsonl"
+        first, _ = started(path)
+        script = textwrap.dedent(
+            f"""
+            from repro.errors import ConfigurationError
+            from repro.harness.journal import RunJournal
+            try:
+                RunJournal({str(path)!r}).start(
+                    {FP!r}, run_id="child", resume=True
+                )
+            except ConfigurationError as exc:
+                assert "another writer" in str(exc), exc
+                print("REFUSED")
+            else:
+                print("ACQUIRED")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=dict(os.environ, PYTHONPATH=src_dir),
+        )
+        first.close()
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "REFUSED"

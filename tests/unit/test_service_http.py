@@ -1,0 +1,131 @@
+"""Unit tests for the framework-free HTTP layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    MAX_HEADER_BYTES,
+    error_response,
+    json_response,
+    match_path,
+    ndjson_frame,
+    raw_response,
+    read_request,
+    response_head,
+    sse_frame,
+)
+
+
+class _Feed:
+    """Minimal StreamReader stand-in fed from a byte string."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+
+    async def read(self, n: int) -> bytes:
+        chunk, self._payload = self._payload[:n], self._payload[n:]
+        return chunk
+
+
+def _parse(raw: bytes):
+    return asyncio.run(read_request(_Feed(raw)))
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_headers_body(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST /v1/sweeps?x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Tenant: team-a\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/sweeps"
+        assert request.query == {"x": "1"}
+        assert request.headers["x-tenant"] == "team-a"
+        assert request.json() == {"a": 1}
+
+    def test_clean_close_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_request_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET /healthz HTT")
+        assert excinfo.value.status == 400
+
+    def test_oversized_headers_are_413(self):
+        raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * (MAX_HEADER_BYTES + 1)
+        with pytest.raises(HttpError) as excinfo:
+            _parse(raw)
+        assert excinfo.value.status == 413
+
+    def test_invalid_json_body_is_400(self):
+        raw = (
+            b"POST /v1/sweeps HTTP/1.1\r\nContent-Length: 3\r\n\r\n{x}"
+        )
+        with pytest.raises(HttpError) as excinfo:
+            _parse(raw).json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_shape(self):
+        raw = json_response(201, {"b": 2, "a": 1})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 201 Created\r\n")
+        assert b"Connection: close" in head
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"a": 1, "b": 2}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_raw_response_preserves_bytes(self):
+        payload = b'{"exact": true}\n'
+        raw = raw_response(200, payload)
+        assert raw.endswith(payload)
+
+    def test_error_response_carries_extra_headers(self):
+        raw = error_response(
+            HttpError(429, "queue full", {"Retry-After": "5"})
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"429 Too Many Requests" in head
+        assert b"Retry-After: 5" in head
+        assert json.loads(body)["error"] == "queue full"
+
+    def test_streaming_head_has_no_content_length(self):
+        head = response_head(200, "text/event-stream")
+        assert b"Content-Length" not in head
+
+
+class TestFrames:
+    def test_sse_frame(self):
+        frame = sse_frame({"kind": "job_finish", "data": {"job": "k"}})
+        text = frame.decode()
+        assert text.startswith("event: job_finish\n")
+        assert text.endswith("\n\n")
+        payload = json.loads(text.split("data: ", 1)[1].strip())
+        assert payload["data"]["job"] == "k"
+
+    def test_ndjson_frame_is_one_line(self):
+        frame = ndjson_frame({"kind": "run_start"})
+        assert frame.count(b"\n") == 1
+        assert json.loads(frame)["kind"] == "run_start"
+
+
+class TestMatchPath:
+    def test_wildcards_capture(self):
+        assert match_path(
+            "/v1/sweeps/abc/result", ("v1", "sweeps", "*", "result")
+        ) == ("abc",)
+
+    def test_length_mismatch_is_none(self):
+        assert match_path("/v1/sweeps", ("v1", "sweeps", "*")) is None
+
+    def test_literal_mismatch_is_none(self):
+        assert match_path("/v1/jobs", ("v1", "sweeps")) is None

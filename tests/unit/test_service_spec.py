@@ -1,0 +1,143 @@
+"""Unit tests for the service's spec, config, and result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.store import sweep_to_dict
+from repro.service import (
+    ResultStore,
+    ServiceConfig,
+    SweepSpec,
+    canonical_result_bytes,
+)
+
+SMALL = {
+    "faults": "none",
+    "bins": [[0.2, 0.3]],
+    "sets_per_bin": 1,
+    "horizon_cap_units": 50,
+}
+
+
+class TestSweepSpec:
+    def test_defaults_match_cli_smoke_scale(self):
+        from repro.harness.protocol import ExperimentProtocol
+
+        smoke = ExperimentProtocol.smoke()
+        spec = SweepSpec()
+        assert spec.sets_per_bin == smoke.sets_per_bin
+        assert spec.horizon_cap_units == smoke.horizon_cap_units
+        assert spec.seed == smoke.seed
+
+    def test_round_trips_through_dict(self):
+        spec = SweepSpec.from_dict(SMALL)
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep-spec key"):
+            SweepSpec.from_dict({**SMALL, "sets_per_bim": 3})
+
+    def test_unknown_faults_rejected(self):
+        with pytest.raises(ConfigurationError, match="faults regime"):
+            SweepSpec.from_dict({**SMALL, "faults": "cosmic"})
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            SweepSpec.from_dict({**SMALL, "schemes": ["MKSS_ST", "nope"]})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            SweepSpec.from_dict({**SMALL, "backend": "gpu"})
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            SweepSpec.from_dict(["faults", "none"])
+
+    def test_bool_fields_must_be_bools(self):
+        with pytest.raises(ConfigurationError, match="fold"):
+            SweepSpec.from_dict({**SMALL, "fold": "yes"})
+
+    def test_execution_knobs_excluded_from_identity(self):
+        # The engine guarantees identical results in every execution
+        # mode, so backend/trace/fold must not split the cache.
+        base = SweepSpec.from_dict(SMALL)
+        for knob in (
+            {"backend": "serial"},
+            {"collect_trace": True},
+            {"fold": True},
+        ):
+            assert SweepSpec.from_dict({**SMALL, **knob}).digest() == base.digest()
+
+    def test_faults_and_scale_change_identity(self):
+        base = SweepSpec.from_dict(SMALL)
+        for knob in (
+            {"faults": "permanent"},
+            {"faults": "transient"},
+            {"seed": 7},
+            {"sets_per_bin": 2},
+            {"horizon_cap_units": 60},
+            {"bins": [[0.3, 0.4]]},
+            {"schemes": ["MKSS_ST", "MKSS_DP"]},
+            {"validate": 2},
+        ):
+            assert SweepSpec.from_dict({**SMALL, **knob}).digest() != base.digest()
+
+
+class TestServiceConfig:
+    def test_rejects_bad_bounds(self):
+        for bad in (
+            {"queue_capacity": 0},
+            {"per_tenant": 0},
+            {"executors": 0},
+            {"sweep_workers": 0},
+            {"throttle_s": -1.0},
+        ):
+            with pytest.raises(ConfigurationError):
+                ServiceConfig(data_dir="x", **bad)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(data_dir="")
+
+    def test_path_joins_under_data_dir(self):
+        config = ServiceConfig(data_dir="/srv/repro")
+        assert config.path("jobs", "a.json") == "/srv/repro/jobs/a.json"
+
+
+class TestResultStore:
+    def _sweep(self):
+        return SweepSpec.from_dict(SMALL).run()
+
+    def test_round_trip_bytes(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results"))
+        sweep = self._sweep()
+        digest = "abc123"
+        assert digest not in store
+        written = store.put(digest, sweep)
+        assert digest in store
+        assert store.get_bytes(digest) == written
+        assert written == canonical_result_bytes(sweep)
+        assert list(store.digests()) == [digest]
+
+    def test_canonical_bytes_are_content_addressed(self):
+        # Same spec run twice (fresh run_ids) must serialize identically:
+        # this is the byte-identity the cache and resume guarantees
+        # stand on.
+        first = canonical_result_bytes(self._sweep())
+        second = canonical_result_bytes(self._sweep())
+        assert first == second
+        document = json.loads(first)
+        assert document == sweep_to_dict(self._sweep())
+
+    def test_missing_digest_returns_none(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results"))
+        assert store.get_bytes("nope") is None
+
+    def test_writes_leave_no_temp_droppings(self, tmp_path):
+        root = str(tmp_path / "results")
+        store = ResultStore(root)
+        store.put("d1", self._sweep())
+        assert os.listdir(root) == ["d1.json"]

@@ -80,6 +80,88 @@ class TestRoundTrip:
         restored = sweep_from_dict(sweep_to_dict(sweep))
         assert restored.dropped == sweep.dropped
 
+    def test_job_payloads_round_trip(self):
+        # Regression: job_payloads used to be silently dropped by
+        # sweep_to_dict, so a stored (or service-served) sweep lost its
+        # per-job payloads.
+        sweep = make_sweep()
+        sweep.job_payloads["u0.1-0.2|set0|MKSS_ST"] = (10.0, 0)
+        sweep.job_payloads["u0.1-0.2|set0|MKSS_DP"] = (6.0, 2)
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert restored.job_payloads == sweep.job_payloads
+        # exact payload types survive: (float, int), key order preserved
+        assert list(restored.job_payloads) == list(sweep.job_payloads)
+        energy, violations = restored.job_payloads["u0.1-0.2|set0|MKSS_DP"]
+        assert isinstance(energy, float) and isinstance(violations, int)
+
+    def test_validation_issues_round_trip(self):
+        from repro.harness.sweep import SweepValidation
+        from repro.sim.validation import ValidationIssue
+
+        sweep = make_sweep()
+        sweep.validation_issues.append(
+            SweepValidation(
+                job="u0.1-0.2|set0",
+                scheme="MKSS_DP",
+                mode="fold",
+                issue=ValidationIssue(kind="ledger", detail="busy mismatch"),
+            )
+        )
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        assert restored.validation_issues == sweep.validation_issues
+
+    def test_documents_without_new_fields_still_load(self):
+        # Forward compatibility: documents stored before job_payloads /
+        # validation_issues existed load as empty.
+        doc = sweep_to_dict(make_sweep())
+        del doc["job_payloads"], doc["validation_issues"]
+        restored = sweep_from_dict(doc)
+        assert restored.job_payloads == {}
+        assert restored.validation_issues == []
+
+    def test_every_sweep_field_round_trips(self):
+        # Completeness gate: introspect the dataclass so a future
+        # SweepResult field that is not serialized (or not deliberately
+        # excluded) fails here instead of silently vanishing from the
+        # store and the service.
+        import dataclasses
+
+        from repro.harness.store import EXCLUDED_SWEEP_FIELDS
+        from repro.harness.sweep import SweepValidation
+        from repro.sim.validation import ValidationIssue
+
+        sweep = make_sweep()
+        sweep.run_id = "deadbeef"
+        sweep.dropped.append(
+            DroppedSet(
+                bin_range=(0.1, 0.2), index=1, schemes=("MKSS_DP",),
+                reason="boom",
+            )
+        )
+        sweep.validation_issues.append(
+            SweepValidation(
+                job="j", scheme="MKSS_ST", mode="trace",
+                issue=ValidationIssue(kind="overlap", detail="d"),
+            )
+        )
+        sweep.job_payloads["j|MKSS_ST"] = (3.5, 1)
+        field_names = {f.name for f in dataclasses.fields(SweepResult)}
+        assert EXCLUDED_SWEEP_FIELDS <= field_names
+        # Every field holds a non-default value, so equality below is a
+        # real check, not a default-vs-default tautology.
+        for f in dataclasses.fields(SweepResult):
+            value = getattr(sweep, f.name)
+            assert value, f"test must populate SweepResult.{f.name}"
+        restored = sweep_from_dict(sweep_to_dict(sweep))
+        for f in dataclasses.fields(SweepResult):
+            if f.name in EXCLUDED_SWEEP_FIELDS:
+                continue
+            assert getattr(restored, f.name) == getattr(sweep, f.name), (
+                f"SweepResult.{f.name} does not survive the store round "
+                "trip; serialize it in sweep_to_dict/sweep_from_dict or "
+                "add it to EXCLUDED_SWEEP_FIELDS with a rationale"
+            )
+
     def test_run_id_not_persisted(self):
         # a resumed sweep (fresh run_id) must serialize identically to
         # its uninterrupted twin

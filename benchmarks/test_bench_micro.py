@@ -206,3 +206,45 @@ def test_workload_generation(benchmark):
     identical."""
     taskset = benchmark(lambda: TaskSetGenerator(seed=31).generate(0.5))
     assert 5 <= len(taskset) <= 10
+
+
+def test_generation_phase(benchmark):
+    """Cold binned generation: draws, vectorized screen, admission.
+
+    Three bins x three sets through the staged pipeline -- the per-sweep
+    generation cost the digest-keyed store amortizes away on repeats.
+    The top bin stops at 0.8 so every bin fills within its draw budget
+    and rounds stay identical."""
+    from repro.workload.generator import generate_binned_tasksets
+
+    bins = [(0.2, 0.3), (0.5, 0.6), (0.7, 0.8)]
+    corpus = benchmark(
+        lambda: generate_binned_tasksets(bins, 3, None, 17)
+    )
+    assert sum(len(v) for v in corpus.values()) == 9
+
+
+def test_bench_sweep_wall(benchmark):
+    """End-to-end utilization_sweep wall clock, generation included.
+
+    The one benchmark that sees the whole pipeline the way a user does:
+    generation (cold, no store) plus simulation of every (set, scheme)
+    job.  Regressions in either phase land here even when the kernels
+    individually look fine."""
+    from repro.harness.sweep import utilization_sweep
+
+    bins = [(0.2, 0.3), (0.5, 0.6)]
+
+    def run():
+        return utilization_sweep(
+            bins,
+            schemes=["MKSS_ST", "MKSS_Selective"],
+            sets_per_bin=2,
+            seed=11,
+            horizon_cap_units=300,
+            collect_trace=False,
+        )
+
+    sweep = benchmark(run)
+    benchmark.extra_info["jobs"] = len(sweep.job_payloads)
+    assert set(sweep.schemes) == {"MKSS_ST", "MKSS_Selective"}

@@ -23,6 +23,7 @@ from .postponement import (
 )
 from .schedulability import (
     is_rpattern_schedulable,
+    mandatory_miss_exists,
     rta_mandatory_schedulable,
     simulate_mandatory_fp,
     simulate_mandatory_schedule,
@@ -65,6 +66,7 @@ __all__ = [
     "job_postponement_interval",
     "task_postponement_intervals",
     "is_rpattern_schedulable",
+    "mandatory_miss_exists",
     "rta_mandatory_schedulable",
     "simulate_mandatory_fp",
     "simulate_mandatory_schedule",

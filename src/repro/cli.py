@@ -233,8 +233,31 @@ def cmd_sweep(args) -> int:
         collect_trace=collect_trace,
         fold=args.fold,
         validate=args.validate,
+        generation_store=args.gen_cache or None,
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
+    generation = next(
+        (e.data for e in log.events if e.kind == "generation"), None
+    )
+    if generation is not None:
+        line = (
+            f"generation: {generation.get('source')} "
+            f"({generation.get('sets')} sets in {generation.get('seconds')}s"
+        )
+        if "screened_out" in generation:
+            line += (
+                f", {generation.get('draws')} draws, "
+                f"{generation['screened_out']} screened out, "
+                f"{generation.get('admission_tests')} admission tests"
+            )
+        line += ")"
+        if "cache_entries" in generation:
+            line += (
+                f"; cache: {generation['cache_hits']} hit(s), "
+                f"{generation['cache_entries']} entr(ies), "
+                f"{generation['cache_bytes']} bytes"
+            )
+        print(line)
     if args.validate:
         audited = len(log.of_kind("validate"))
         print(
@@ -549,6 +572,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the conformance auditor on N sampled task sets (every "
         "scheme, trace + stats modes, + fold when folding); issues are "
         "printed, recorded as events, and make the command exit nonzero",
+    )
+    sweep.add_argument(
+        "--gen-cache",
+        dest="gen_cache",
+        default="",
+        metavar="DIR",
+        help="persistent task-set generation cache: a digest-keyed store "
+        "under DIR memoizes generated corpora, so repeat sweeps sharing a "
+        "generation spec (bins, sets/bin, seed, generator config) load "
+        "task sets instead of redrawing them; results are identical "
+        "either way",
     )
     sweep.set_defaults(func=cmd_sweep)
 

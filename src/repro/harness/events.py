@@ -14,6 +14,9 @@ Event kinds and their payload conventions:
 kind                      payload keys
 ========================  ====================================================
 :data:`RUN_START`         ``jobs``, ``workers``, ``resume``, ``journal``
+:data:`GENERATION`        ``source`` (``"cache"``/``"generated"``),
+                          ``digest``, ``seconds``, ``sets``, generator
+                          counters, cache ``hits``/``entries``/``bytes``
 :data:`JOB_START`         ``job``, ``attempt``, ``queue_depth``
 :data:`JOB_FINISH`        ``job``, ``attempt``, ``wall_s``, ``progress``
 :data:`JOB_RETRY`         ``job``, ``attempt`` (failures so far), ``reason``
@@ -41,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 RUN_START = "run_start"
+GENERATION = "generation"
 JOB_START = "job_start"
 JOB_FINISH = "job_finish"
 JOB_RETRY = "job_retry"
@@ -56,6 +60,7 @@ RUN_FINISH = "run_finish"
 #: Every kind the harness emits, in rough lifecycle order.
 EVENT_KINDS = (
     RUN_START,
+    GENERATION,
     JOB_START,
     JOB_FINISH,
     JOB_RETRY,

@@ -127,6 +127,7 @@ def _run_panel(
     collect_trace: bool = True,
     fold: bool = False,
     validate: int = 0,
+    generation_store=None,
 ) -> SweepResult:
     proto = protocol or ExperimentProtocol.documented()
     if power_model is None and not proto.uses_default_power_model():
@@ -159,6 +160,7 @@ def _run_panel(
         collect_trace=collect_trace,
         fold=fold,
         validate=validate,
+        generation_store=generation_store,
     )
 
 
@@ -170,8 +172,14 @@ def figure6_series(
     horizon_cap_units: Optional[int] = None,
     schemes: Sequence[str] = PAPER_SCHEMES,
     protocol: Optional[ExperimentProtocol] = None,
+    generation_store=None,
 ) -> Dict[str, SweepResult]:
-    """All three panels over one shared pool of task sets."""
+    """All three panels over one shared pool of task sets.
+
+    ``generation_store`` memoizes the shared corpus across processes:
+    a :class:`~repro.harness.genstore.GenerationStore` (or root path)
+    consulted before generating and populated after.
+    """
     proto = protocol or ExperimentProtocol.documented()
     bins = list(proto.bins) if bins is None else bins
     sets_per_bin = proto.sets_per_bin if sets_per_bin is None else sets_per_bin
@@ -184,9 +192,26 @@ def figure6_series(
         if horizon_cap_units is None
         else horizon_cap_units
     )
-    tasksets = generate_binned_tasksets(
-        bins, sets_per_bin, generator_config, seed
-    )
+    store = None
+    if generation_store is not None:
+        from .genstore import GenerationStore, generation_digest
+
+        store = (
+            GenerationStore(generation_store)
+            if isinstance(generation_store, str)
+            else generation_store
+        )
+        digest = generation_digest(bins, sets_per_bin, generator_config, seed)
+        tasksets = store.get(digest)
+        if tasksets is None:
+            tasksets = generate_binned_tasksets(
+                bins, sets_per_bin, generator_config, seed
+            )
+            store.put(digest, tasksets)
+    else:
+        tasksets = generate_binned_tasksets(
+            bins, sets_per_bin, generator_config, seed
+        )
     shared = dict(
         bins=bins,
         schemes=schemes,

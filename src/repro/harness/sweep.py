@@ -61,9 +61,11 @@ from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
 from ..model.taskset import TaskSet
 from ..sim.validation import ValidationIssue
+from ..workload.fastgen import GenerationStats, generate_single_bin
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
 from .events import (
     BATCH_PROGRESS,
+    GENERATION,
     JOB_DROP,
     JOB_FINISH,
     JOB_RETRY,
@@ -75,6 +77,10 @@ from .events import (
     VALIDATE,
     VALIDATION_ISSUE,
     EventLog,
+)
+from .genstore import (
+    GenerationStore,
+    generation_digest,
 )
 from .journal import RunJournal
 from .runner import PAPER_SCHEMES, SCHEME_FACTORIES, run_scheme
@@ -136,12 +142,21 @@ def _taskset_digest(taskset: TaskSet) -> str:
     return hashlib.sha1(blob).hexdigest()[:16]
 
 
-#: Per-worker-process workload memo, keyed by the generation spec.  A
-#: sweep's descriptors all share one spec, so each worker regenerates the
-#: binned task sets exactly once and serves every (bin, set, scheme) job
-#: from the same objects -- which also lets the worker's analysis cache
-#: fire across schemes.  Only the latest spec is retained.
+#: Per-worker-process workload memos.  ``_WORKER_BIN_TASKSETS`` holds one
+#: *bin* of task sets per key ``((spec key), bin_range)`` -- the sharded
+#: design: a worker materializes only the bins its own jobs reference
+#: (from the shared :class:`GenerationStore` or by replaying that bin's
+#: RNG stream), so its generation cost scales with its job shard, not
+#: the whole sweep.  Only the latest spec's bins are retained.
+#: ``_WORKER_TASKSETS`` is the legacy full-spec memo, kept as the last
+#: resort when neither a store entry nor a bin RNG state is available.
+_WORKER_BIN_TASKSETS: Dict[tuple, List[TaskSet]] = {}
 _WORKER_TASKSETS: Dict[tuple, Dict[Tuple[float, float], List[TaskSet]]] = {}
+_WORKER_STORES: Dict[str, GenerationStore] = {}
+
+#: Observability counters for tests and diagnostics: how many single
+#: bins and how many *full sweeps* this process has regenerated.
+_WORKER_GEN_COUNTS = {"bins": 0, "full": 0, "store_bins": 0}
 
 
 def _regenerated_tasksets(
@@ -154,8 +169,75 @@ def _regenerated_tasksets(
     cached = _WORKER_TASKSETS.get(key)
     if cached is None:
         cached = generate_binned_tasksets(list(bins), sets_per_bin, config, seed)
+        _WORKER_GEN_COUNTS["full"] += 1
         _WORKER_TASKSETS.clear()
         _WORKER_TASKSETS[key] = cached
+    return cached
+
+
+def _retain_spec(spec_key: tuple) -> None:
+    """Drop memoized bins of any other spec (bounded worker memory)."""
+    for existing in list(_WORKER_BIN_TASKSETS):
+        if existing[0] != spec_key:
+            del _WORKER_BIN_TASKSETS[existing]
+
+
+def _worker_bin_tasksets(
+    bins: Tuple[Tuple[float, float], ...],
+    sets_per_bin: int,
+    config: Optional[GeneratorConfig],
+    seed: Optional[int],
+    bin_range: Tuple[float, float],
+    rng_state: Optional[tuple],
+) -> List[TaskSet]:
+    """One bin's task sets, regenerated from that bin's RNG state."""
+    spec_key = (bins, sets_per_bin, _config_key(config), seed)
+    key = (spec_key, bin_range)
+    cached = _WORKER_BIN_TASKSETS.get(key)
+    if cached is None:
+        if rng_state is None:
+            # No per-bin entry point -- fall back to the full spec.
+            return _regenerated_tasksets(bins, sets_per_bin, config, seed)[
+                bin_range
+            ]
+        _retain_spec(spec_key)
+        cached = generate_single_bin(
+            bin_range, sets_per_bin, config, rng_state=rng_state
+        )
+        _WORKER_GEN_COUNTS["bins"] += 1
+        _WORKER_BIN_TASKSETS[key] = cached
+    return cached
+
+
+def _store_bin_tasksets(
+    root: str,
+    digest: str,
+    bins: Tuple[Tuple[float, float], ...],
+    sets_per_bin: int,
+    config: Optional[GeneratorConfig],
+    seed: Optional[int],
+    bin_range: Tuple[float, float],
+) -> List[TaskSet]:
+    """One bin's task sets, loaded from the shared generation store.
+
+    A vanished or corrupt store entry degrades to full regeneration (the
+    store itself warns) -- slower, never wrong.
+    """
+    spec_key = (bins, sets_per_bin, _config_key(config), seed)
+    key = (spec_key, bin_range)
+    cached = _WORKER_BIN_TASKSETS.get(key)
+    if cached is None:
+        store = _WORKER_STORES.get(root)
+        if store is None:
+            store = _WORKER_STORES.setdefault(root, GenerationStore(root))
+        cached = store.get_bin(digest, bin_range)
+        if cached is None:
+            return _regenerated_tasksets(bins, sets_per_bin, config, seed)[
+                bin_range
+            ]
+        _retain_spec(spec_key)
+        _WORKER_GEN_COUNTS["store_bins"] += 1
+        _WORKER_BIN_TASKSETS[key] = cached
     return cached
 
 
@@ -189,7 +271,18 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
     * ``("gen", bins, sets_per_bin, config, seed, bin_range, index,
       scheme, scenario, horizon_cap_units, collect_trace, fold,
       power_model)`` names a task set by position within a deterministic
-      generation, regenerated worker-side via :data:`_WORKER_TASKSETS`.
+      generation, regenerated worker-side via :data:`_WORKER_TASKSETS`
+      (legacy full-sweep path, kept as the fallback);
+    * ``("genbin", bins, sets_per_bin, config, seed, bin_range,
+      rng_state, index, scheme, ...)`` additionally carries the RNG
+      state at the start of that bin's fill loop, so the worker
+      regenerates *only* the referenced bin
+      (:func:`_worker_bin_tasksets`);
+    * ``("store", store_root, digest, bins, sets_per_bin, config, seed,
+      bin_range, index, scheme, ...)`` loads the referenced bin's shard
+      from the shared :class:`GenerationStore`
+      (:func:`_store_bin_tasksets`), regenerating nothing at all on a
+      warm store.
 
     Returns ``(total energy, mk violations, cycles folded)``.  The third
     element is observability-only: the sweep splits it off into the
@@ -229,6 +322,47 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
         taskset = _regenerated_tasksets(bins, sets_per_bin, config, seed)[
             bin_range
         ][index]
+    elif kind == "genbin":
+        (
+            _,
+            bins,
+            sets_per_bin,
+            config,
+            seed,
+            bin_range,
+            rng_state,
+            index,
+            scheme,
+            scenario,
+            horizon_cap_units,
+            collect_trace,
+            fold,
+            power_model,
+        ) = job
+        taskset = _worker_bin_tasksets(
+            bins, sets_per_bin, config, seed, bin_range, rng_state
+        )[index]
+    elif kind == "store":
+        (
+            _,
+            store_root,
+            store_digest,
+            bins,
+            sets_per_bin,
+            config,
+            seed,
+            bin_range,
+            index,
+            scheme,
+            scenario,
+            horizon_cap_units,
+            collect_trace,
+            fold,
+            power_model,
+        ) = job
+        taskset = _store_bin_tasksets(
+            store_root, store_digest, bins, sets_per_bin, config, seed, bin_range
+        )[index]
     else:  # pragma: no cover - descriptors are built in this module
         raise ConfigurationError(f"unknown sweep job kind {kind!r}")
     outcome = run_scheme(
@@ -1068,6 +1202,7 @@ def utilization_sweep(
     collect_trace: bool = True,
     fold: bool = False,
     validate: int = 0,
+    generation_store: "Optional[GenerationStore | str]" = None,
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -1139,6 +1274,12 @@ def utilization_sweep(
             :attr:`SweepResult.validation_issues` and are emitted as
             VALIDATE / VALIDATION_ISSUE events.  0 (default) disables
             sampling.
+        generation_store: a :class:`GenerationStore` (or its root path)
+            memoizing generated corpora across processes and restarts.
+            A spec seen before loads task sets instead of regenerating
+            them; pool workers read only the bin shards their jobs
+            reference.  Purely an execution knob: results, journal rows,
+            and the sweep fingerprint are identical with or without it.
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -1171,6 +1312,7 @@ def utilization_sweep(
         retry_backoff=retry_backoff,
     )
 
+    log = events if events is not None else EventLog()
     supplied = tasksets_by_bin is not None
     generated_spec: Optional[tuple] = None
     fingerprint = _sweep_fingerprint(
@@ -1184,6 +1326,13 @@ def utilization_sweep(
         tasksets_by_bin,
         power_model,
     )
+    gen_store: Optional[GenerationStore] = (
+        GenerationStore(generation_store)
+        if isinstance(generation_store, str)
+        else generation_store
+    )
+    gen_digest: Optional[str] = None
+    gen_stats: Optional[GenerationStats] = None
     if tasksets_by_bin is None:
         generated_spec = (
             tuple(tuple(b) for b in bins),
@@ -1191,12 +1340,56 @@ def utilization_sweep(
             generator_config,
             seed,
         )
-        tasksets_by_bin = generate_binned_tasksets(
+        gen_digest = generation_digest(
             bins, sets_per_bin, generator_config, seed
         )
-    # Workers regenerate internally generated workloads from the spec (a
-    # few ints beat a pickled TaskSet per job); supplied workloads have no
-    # spec and are shipped pickled.
+        gen_started = time.monotonic()
+        cached = gen_store.get(gen_digest) if gen_store is not None else None
+        if cached is not None:
+            tasksets_by_bin = cached
+            gen_source = "cache"
+            gen_counters: Dict[str, Any] = {}
+        else:
+            gen_stats = GenerationStats()
+            tasksets_by_bin = generate_binned_tasksets(
+                bins, sets_per_bin, generator_config, seed, stats=gen_stats
+            )
+            gen_source = "generated"
+            gen_counters = {
+                key: value
+                for key, value in gen_stats.to_dict().items()
+                if key != "seconds"
+            }
+            if gen_store is not None:
+                gen_store.put(
+                    gen_digest,
+                    tasksets_by_bin,
+                    spec={
+                        "bins": [list(map(float, b)) for b in bins],
+                        "sets_per_bin": sets_per_bin,
+                        "seed": seed,
+                    },
+                )
+        if gen_store is not None:
+            gen_counters.update(
+                {f"cache_{k}": v for k, v in gen_store.stats().items()}
+            )
+        # Emitted right after RUN_START: run_start/run_finish bracket the
+        # whole event stream (the service e2e contract).
+        gen_event: Optional[Dict[str, Any]] = dict(
+            source=gen_source,
+            digest=gen_digest,
+            seconds=round(time.monotonic() - gen_started, 3),
+            sets=sum(len(v) for v in tasksets_by_bin.values()),
+            **gen_counters,
+        )
+    else:
+        gen_event = None
+    # Workers rebuild internally generated workloads from a per-bin shard
+    # -- a store read when a GenerationStore is shared, otherwise a
+    # replay of just that bin's RNG stream (a few ints + one RNG state
+    # beat a pickled TaskSet per job); supplied workloads have no spec
+    # and are shipped pickled.
     ship_spec = workers > 1 and generated_spec is not None
 
     jobs: List[tuple] = []
@@ -1236,17 +1429,30 @@ def utilization_sweep(
                         f"u{key[0]:g}-{key[1]:g}|set{index}|{scheme}"
                     )
                 if ship_spec:
-                    jobs.append(
-                        ("gen", *generated_spec, key, index, scheme, scenario,
-                         horizon_cap_units, collect_trace, fold, power_model)
-                    )
+                    if gen_store is not None and gen_digest is not None:
+                        jobs.append(
+                            ("store", gen_store.root, gen_digest,
+                             *generated_spec, key, index, scheme, scenario,
+                             horizon_cap_units, collect_trace, fold,
+                             power_model)
+                        )
+                    else:
+                        bin_state = (
+                            gen_stats.bin_states.get(key)
+                            if gen_stats is not None
+                            else None
+                        )
+                        jobs.append(
+                            ("genbin", *generated_spec, key, bin_state, index,
+                             scheme, scenario, horizon_cap_units,
+                             collect_trace, fold, power_model)
+                        )
                 else:
                     jobs.append(
                         ("set", taskset, scheme, scenario, horizon_cap_units,
                          collect_trace, fold, power_model)
                     )
 
-    log = events if events is not None else EventLog()
     log.emit(
         RUN_START,
         jobs=len(jobs),
@@ -1255,6 +1461,8 @@ def utilization_sweep(
         resume=bool(resume),
         journal=journal_path or None,
     )
+    if gen_event is not None:
+        log.emit(GENERATION, **gen_event)
     journal: Optional[RunJournal] = None
     completed: Dict[str, Any] = {}
     if journal_path:

@@ -36,7 +36,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..harness.events import JOB_FINISH, EventLog
+from ..harness.events import GENERATION, JOB_FINISH, EventLog
+from ..harness.genstore import GenerationStore
 from .config import ServiceConfig
 from .spec import SweepSpec
 from .store import ResultStore
@@ -70,6 +71,10 @@ class Job:
     cached: bool = False
     submitted_at: float = field(default_factory=time.time)
     finished_at: Optional[float] = None
+    #: Payload of the sweep's GENERATION event: where the task sets came
+    #: from ("cache"/"generated"), generation seconds, and the shared
+    #: generation-cache counters (hits / entries / bytes).
+    generation: Optional[Dict[str, Any]] = None
 
     def status(self) -> Dict[str, Any]:
         """The JSON document ``GET /v1/sweeps/<id>`` serves."""
@@ -79,6 +84,7 @@ class Job:
             "tenant": self.tenant,
             "cached": self.cached,
             "error": self.error,
+            "generation": self.generation,
             "spec": self.spec.to_dict(),
             "links": {
                 "status": f"/v1/sweeps/{self.digest}",
@@ -104,6 +110,7 @@ class JobManager:
         self.config = config
         self.loop = loop
         self.store = ResultStore(config.path("results"))
+        self.genstore = GenerationStore(config.path("tasksets"))
         for sub in ("jobs", "journals", "events"):
             os.makedirs(config.path(sub), exist_ok=True)
         self.jobs: Dict[str, Job] = {}
@@ -263,6 +270,10 @@ class JobManager:
 
     def _publish(self, digest: str, event: Dict[str, Any]) -> None:
         """Loop-side event fan-out: append to history, feed subscribers."""
+        if event.get("kind") == GENERATION:
+            job = self.jobs.get(digest)
+            if job is not None:
+                job.generation = dict(event.get("data") or {})
         with open(self._events_path(digest), "a", encoding="utf-8") as handle:
             json.dump(event, handle, sort_keys=True)
             handle.write("\n")
@@ -339,4 +350,5 @@ class JobManager:
             resume=True,
             force_new=self.config.force_new,
             events=log,
+            generation_store=self.genstore,
         )

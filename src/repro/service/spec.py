@@ -198,12 +198,16 @@ class SweepSpec:
         resume: bool = False,
         force_new: bool = False,
         events=None,
+        generation_store=None,
     ):
         """Execute this spec exactly as the CLI would run the panel.
 
         Thin wrapper over the Figure-6 panel functions so a service job,
         a CLI sweep, and a test's direct reference run share one code
         path -- the byte-identity guarantees hang off that.
+
+        ``generation_store`` is an execution knob (a shared task-set
+        cache); it never enters the spec identity or the results.
         """
         from ..harness.figures import fig6a, fig6b, fig6c
 
@@ -225,4 +229,5 @@ class SweepSpec:
             collect_trace=self.collect_trace,
             fold=self.fold,
             validate=self.validate,
+            generation_store=generation_store,
         )

@@ -173,12 +173,23 @@ class TaskSetGenerator:
         )
 
 
+#: Generation pipelines selectable in :func:`generate_binned_tasksets`:
+#: ``"fast"`` (default) is the staged blocked-draw/screened pipeline in
+#: :mod:`repro.workload.fastgen`, ``"sequential"`` the original
+#: one-draw-at-a-time loop.  Both produce byte-identical output; the
+#: sequential path is kept as the differential reference.
+GENERATION_PIPELINES: Tuple[str, ...] = ("fast", "sequential")
+
+
 def generate_binned_tasksets(
     bins: Sequence[Tuple[float, float]],
     sets_per_bin: int = 20,
     config: Optional[GeneratorConfig] = None,
     seed: Optional[int] = None,
     max_draws_per_bin: int = 5000,
+    *,
+    pipeline: str = "fast",
+    stats=None,
 ) -> Dict[Tuple[float, float], List[TaskSet]]:
     """Populate (m,k)-utilization bins with schedulable task sets.
 
@@ -188,7 +199,23 @@ def generate_binned_tasksets(
 
     Sets are binned by their *achieved* (m,k)-utilization after WCET
     quantization, so a draw targeted at one bin may land in a neighbour.
+
+    ``pipeline`` selects the execution strategy (not the output -- the
+    two pipelines are differential-tested identical); ``stats`` may be a
+    :class:`repro.workload.fastgen.GenerationStats` to collect counters
+    and per-bin RNG states on the fast path.
     """
+    if pipeline not in GENERATION_PIPELINES:
+        raise WorkloadError(
+            f"pipeline must be one of {GENERATION_PIPELINES}, "
+            f"got {pipeline!r}"
+        )
+    if pipeline == "fast":
+        from .fastgen import generate_binned_fast
+
+        return generate_binned_fast(
+            bins, sets_per_bin, config, seed, max_draws_per_bin, stats
+        )
     generator = TaskSetGenerator(config, seed)
     cfg = generator.config
     result: Dict[Tuple[float, float], List[TaskSet]] = {

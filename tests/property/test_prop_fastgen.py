@@ -1,0 +1,264 @@
+"""Differential proof obligations of the staged generation pipeline.
+
+The fast path in ``repro.workload.fastgen`` is only allowed to exist
+because it is *byte-identical* to the sequential ``TaskSetGenerator``
+loop: same task sets, same order, same fingerprints, same RNG stream
+position after every bin.  These tests enforce that over a multi-config
+corpus, plus the exactness obligations of the individual stages (the
+integer ``limit_denominator`` transcription, the numpy/pure-python
+screen agreement, the screen's reject-only-provably-unschedulable
+soundness, and the early-exit admission simulation's agreement with the
+full heap simulation).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+import repro.workload.fastgen as fastgen
+from repro.analysis.schedulability import (
+    is_rpattern_schedulable,
+    mandatory_miss_exists,
+    rta_mandatory_schedulable,
+    simulate_mandatory_fp,
+)
+from repro.workload.fastgen import (
+    GenerationStats,
+    draw_candidate,
+    fill_bin,
+    generate_single_bin,
+    limit_denominator_int,
+    screen_rejects,
+)
+from repro.workload.generator import (
+    GeneratorConfig,
+    TaskSetGenerator,
+    generate_binned_tasksets,
+)
+
+BINS = [(0.2, 0.3), (0.5, 0.6), (0.8, 0.9)]
+
+CONFIGS = {
+    "default": GeneratorConfig(),
+    "admission-none": GeneratorConfig(admission="none"),
+    "no-filter": GeneratorConfig(require_schedulable=False),
+    "free-periods": GeneratorConfig(period_choices=None),
+    "coarse-grid": GeneratorConfig(wcet_grid=Fraction(1, 10)),
+    "reducible-grid": GeneratorConfig(wcet_grid=Fraction(2, 100)),
+    "offgrid": GeneratorConfig(wcet_grid=Fraction(3, 100)),
+    "shallow-k": GeneratorConfig(k_range=(2, 6)),
+    "small-sets": GeneratorConfig(min_tasks=2, max_tasks=4),
+    "uncapped-horizon": GeneratorConfig(horizon_cap_units=None, k_range=(2, 5)),
+}
+
+
+def _sequential(bins, sets_per_bin, config, seed, max_draws):
+    return generate_binned_tasksets(
+        bins,
+        sets_per_bin,
+        config,
+        seed,
+        max_draws_per_bin=max_draws,
+        pipeline="sequential",
+    )
+
+
+def _identical(a, b):
+    assert list(a) == list(b)
+    for key in a:
+        assert len(a[key]) == len(b[key]), key
+        for x, y in zip(a[key], b[key]):
+            assert x.fingerprint() == y.fingerprint(), key
+            assert list(x) == list(y), key
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    @pytest.mark.parametrize("seed", [1, 20200309])
+    def test_fast_pipeline_matches_sequential(self, name, seed):
+        cfg = CONFIGS[name]
+        seq = _sequential(BINS, 3, cfg, seed, 150)
+        fast = generate_binned_tasksets(
+            BINS, 3, cfg, seed, max_draws_per_bin=150, pipeline="fast"
+        )
+        _identical(seq, fast)
+
+    def test_rotated_admission_matches_sequential(self):
+        # Rotation search is expensive; one small spec keeps this fast.
+        cfg = GeneratorConfig(admission="rotated", k_range=(2, 5))
+        seq = _sequential([(0.5, 0.6)], 2, cfg, 5, 40)
+        fast = generate_binned_tasksets(
+            [(0.5, 0.6)], 2, cfg, 5, max_draws_per_bin=40, pipeline="fast"
+        )
+        _identical(seq, fast)
+
+    def test_rng_stream_position_matches_sequential(self):
+        # After filling bins, both pipelines must leave the shared RNG at
+        # the same position -- the next draw is identical.  This is what
+        # makes mid-block rewind correct, and it must hold even when a
+        # bin exhausts its draw budget.
+        for name, cfg in CONFIGS.items():
+            rng_seq, rng_fast = random.Random(7), random.Random(7)
+            generator = TaskSetGenerator(cfg, rng_seq)
+            for lo, hi in BINS:
+                out = []
+                draws = 0
+                while len(out) < 2:
+                    draws += 1
+                    if draws > 60:
+                        break
+                    ts = generator.draw_raw((lo + hi) / 2)
+                    if ts is None:
+                        continue
+                    achieved = float(ts.mk_utilization)
+                    if not lo <= achieved < hi:
+                        continue
+                    if not cfg.admits(ts):
+                        continue
+                    out.append(ts)
+            for lo, hi in BINS:
+                fill_bin(rng_fast, cfg, lo, hi, 2, 60)
+            assert rng_seq.random() == rng_fast.random(), name
+
+    def test_default_pipeline_is_fast(self):
+        seq = _sequential(BINS, 2, None, 3, 100)
+        default = generate_binned_tasksets(BINS, 2, None, 3, max_draws_per_bin=100)
+        _identical(seq, default)
+
+    def test_unknown_pipeline_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            generate_binned_tasksets(BINS, 1, None, 1, pipeline="warp")
+
+
+class TestSingleBinShard:
+    def test_single_bin_regenerates_exactly_one_bin(self):
+        # The per-bin RNG states recorded during a full generation allow
+        # regenerating any one bin in isolation, identically.
+        stats = GenerationStats()
+        full = generate_binned_tasksets(
+            BINS, 3, None, 42, max_draws_per_bin=150, stats=stats
+        )
+        assert set(stats.bin_states) == set(full)
+        for bin_range, tasksets in full.items():
+            shard = generate_single_bin(
+                bin_range,
+                3,
+                None,
+                rng_state=stats.bin_states[bin_range],
+                max_draws_per_bin=150,
+            )
+            assert [t.fingerprint() for t in shard] == [
+                t.fingerprint() for t in tasksets
+            ]
+
+    def test_stats_counters_are_consistent(self):
+        stats = GenerationStats()
+        full = generate_binned_tasksets(
+            BINS, 3, None, 42, max_draws_per_bin=150, stats=stats
+        )
+        assert stats.draws == sum(stats.bin_draws.values())
+        assert stats.feasible <= stats.draws
+        assert stats.in_bin <= stats.feasible
+        assert stats.screened_out + stats.admission_tests >= stats.in_bin
+        assert stats.admitted == sum(len(v) for v in full.values())
+        assert stats.seconds >= 0.0
+        payload = stats.to_dict()
+        assert payload["admitted"] == stats.admitted
+        assert "bin_states" not in payload  # states are not JSON material
+
+
+class TestLimitDenominator:
+    def test_matches_fraction_limit_denominator(self):
+        rng = random.Random(0)
+        for _ in range(4000):
+            value = rng.random() * rng.choice([1.0, 1e-6, 1e6, 123.456])
+            numerator, denominator = value.as_integer_ratio()
+            for max_den in (1, 7, 997, 10**6):
+                expected = Fraction(numerator, denominator).limit_denominator(
+                    max_den
+                )
+                assert limit_denominator_int(
+                    numerator, denominator, max_den
+                ) == (expected.numerator, expected.denominator)
+
+    def test_small_denominator_passthrough(self):
+        assert limit_denominator_int(3, 4, 10**6) == (3, 4)
+        assert limit_denominator_int(0, 1, 10) == (0, 1)
+
+
+class TestScreen:
+    def _candidates(self, count, seed=42, cfg=None):
+        cfg = cfg or GeneratorConfig()
+        rng = random.Random(seed)
+        out = []
+        while len(out) < count:
+            cand = draw_candidate(
+                rng,
+                cfg,
+                rng.uniform(0.15, 0.95),
+                cfg.wcet_grid.numerator,
+                cfg.wcet_grid.denominator,
+            )
+            if cand is not None:
+                out.append(cand)
+        return out
+
+    def test_numpy_and_python_screens_agree(self):
+        cfg = GeneratorConfig()
+        cands = self._candidates(300)
+        if fastgen.numpy_available():
+            assert fastgen._screen_rejects_numpy(
+                cands, cfg
+            ) == fastgen._screen_rejects_python(cands, cfg)
+
+    def test_screen_rejects_only_provably_unschedulable(self):
+        # Soundness: every screen-rejected candidate must fail BOTH
+        # admission stages -- the RTA sufficient test and the exact
+        # simulation.  (The screen skipping them is then decision-free.)
+        from repro.analysis.hyperperiod import analysis_horizon
+        from repro.workload.fastgen import build_taskset
+
+        cfg = GeneratorConfig()
+        cands = self._candidates(200)
+        flags = screen_rejects(cands, cfg)
+        rejected = [c for c, flag in zip(cands, flags) if flag]
+        assert rejected, "corpus should contain screen rejects"
+        for cand in rejected:
+            taskset = build_taskset(cand, cfg.wcet_grid)
+            base = taskset.timebase()
+            horizon = analysis_horizon(taskset, base, cfg.horizon_cap_units)
+            assert not rta_mandatory_schedulable(taskset, base)
+            assert not is_rpattern_schedulable(
+                taskset, base, horizon_ticks=horizon
+            )
+
+    def test_pipeline_identical_without_numpy(self, monkeypatch):
+        seq = _sequential(BINS, 2, None, 99, 100)
+        monkeypatch.setattr(fastgen, "_np", None)
+        fast = generate_binned_tasksets(
+            BINS, 2, None, 99, max_draws_per_bin=100, pipeline="fast"
+        )
+        _identical(seq, fast)
+
+
+class TestFastAdmissionSim:
+    def test_miss_verdict_matches_heap_simulation(self):
+        # mandatory_miss_exists must agree with the reference heap
+        # simulation's deadline check on every raw draw, schedulable or
+        # not -- it is the admission decider.
+        cfg = GeneratorConfig(require_schedulable=False)
+        generator = TaskSetGenerator(cfg, 7)
+        rng = random.Random(13)
+        checked = misses = 0
+        while checked < 120:
+            taskset = generator.draw_raw(rng.uniform(0.1, 0.95))
+            if taskset is None:
+                continue
+            checked += 1
+            expected = not simulate_mandatory_fp(taskset)[0]
+            assert mandatory_miss_exists(taskset) == expected
+            misses += expected
+        assert misses, "corpus should contain unschedulable sets"

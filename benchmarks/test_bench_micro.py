@@ -107,6 +107,45 @@ def test_engine_folded_long_horizon(benchmark):
     assert result.cycles_folded > 90
 
 
+def test_engine_folded_self_disable_sporadic(benchmark):
+    """fold=True on a sporadic timeline: the fold arm must bail out and
+    run the exact stats-mode simulation, costing no more than a plain
+    stats run of the same workload (the self-disable regression bench)."""
+    from repro.workload.release import ReleaseModel
+
+    taskset = _aligned_taskset()
+    base = taskset.timebase()
+    horizon = 2000 * base.ticks_per_unit
+    model = ReleaseModel.preset("light", seed=1)
+
+    def run():
+        return run_policy(
+            taskset, MKSSSelective(), horizon, base,
+            collect_trace=False, fold=True, release_model=model,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["released_jobs"] = result.released_jobs
+    assert result.cycles_folded == 0
+
+
+def test_sporadic_release_timeline(benchmark):
+    """Building the seeded sporadic release sequence for 2000ms -- the
+    per-(task set, model) cost the shared-timeline memo amortizes."""
+    from repro.workload.release import ReleaseModel
+
+    taskset = _workload()
+    base = taskset.timebase()
+    horizon = 2000 * base.ticks_per_unit
+    model = ReleaseModel.preset("heavy", seed=2)
+
+    timeline = benchmark(
+        lambda: ReleaseTimeline(taskset, horizon, base, model)
+    )
+    benchmark.extra_info["releases"] = len(timeline)
+    assert not timeline.periodic
+
+
 def test_shared_release_timeline(benchmark):
     """Building the merged per-task-set release sequence for 2000ms.
 

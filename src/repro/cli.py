@@ -39,12 +39,14 @@ from .harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
 from .harness.protocol import ExperimentProtocol
 from .harness.report import format_series_table, format_table
 from .harness.runner import SCHEME_FACTORIES
+from .model.history import INITIAL_HISTORY_MODES
 from .model.task import Task
 from .model.taskset import TaskSet
 from .qos.metrics import collect_metrics
 from .schedulers.base import run_policy
 from .sim.gantt import render_gantt
 from .workload.presets import motivation_tasksets
+from .workload.release import RELEASE_PRESETS, ReleaseModel
 
 
 def parse_taskset(spec: str) -> TaskSet:
@@ -65,6 +67,41 @@ def parse_taskset(spec: str) -> TaskSet:
     if not tasks:
         raise ReproError("no tasks given")
     return TaskSet(tasks)
+
+
+def _add_release_args(parser) -> None:
+    """Register the arrival-process / boundary-condition knobs."""
+    parser.add_argument(
+        "--release-model",
+        choices=sorted(RELEASE_PRESETS),
+        default="periodic",
+        help="job arrival process: 'periodic' is the paper's model; "
+        "'light'/'heavy' add sporadic-legal jitter (up to 0.1/0.5 of the "
+        "period), 'bursty' releases back-to-back bursts separated by "
+        "random gaps (all keep inter-arrivals >= the period)",
+    )
+    parser.add_argument(
+        "--release-seed",
+        type=int,
+        default=0,
+        help="seed of the release-model jitter/gap draws (ignored for "
+        "periodic releases)",
+    )
+    parser.add_argument(
+        "--initial-history",
+        choices=INITIAL_HISTORY_MODES,
+        default="met",
+        help="(m,k)-history boundary condition: 'met' (the paper's "
+        "all-met assumption), 'miss' (all windows start violated), or "
+        "'rpattern' (windows pre-seeded with the R-pattern)",
+    )
+
+
+def _release_model_from_args(args) -> Optional[ReleaseModel]:
+    """The ReleaseModel the flags describe (None = periodic default)."""
+    if args.release_model == "periodic":
+        return None
+    return ReleaseModel.preset(args.release_model, seed=args.release_seed)
 
 
 def _resolve_taskset(args) -> TaskSet:
@@ -138,6 +175,8 @@ def cmd_simulate(args) -> int:
         base,
         collect_trace=collect_trace,
         fold=args.fold,
+        release_model=_release_model_from_args(args),
+        initial_history=args.initial_history,
     )
     if args.gantt and collect_trace:
         cell = 1 if base.ticks_per_unit == 1 else f"1/{base.ticks_per_unit}"
@@ -161,7 +200,7 @@ def cmd_simulate(args) -> int:
         from .qos.timeline import render_timelines
 
         print()
-        print(render_timelines(result))
+        print(render_timelines(result, args.initial_history))
     if args.export:
         from .sim.export import write_result
 
@@ -234,6 +273,8 @@ def cmd_sweep(args) -> int:
         fold=args.fold,
         validate=args.validate,
         generation_store=args.gen_cache or None,
+        release_model=_release_model_from_args(args),
+        initial_history=args.initial_history,
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
     generation = next(
@@ -313,6 +354,11 @@ def cmd_triage(args) -> int:
         overrides["horizon_cap_units"] = args.horizon
     if args.seed:
         overrides["seed"] = args.seed
+    release_model = _release_model_from_args(args)
+    if release_model is not None:
+        overrides["release_model"] = release_model
+    if args.initial_history != "met":
+        overrides["initial_history"] = args.initial_history
     if overrides:
         protocol = protocol.replace(**overrides)
     panels = tuple(
@@ -393,6 +439,8 @@ def cmd_validate(args) -> int:
             scenario=scenario,
             horizon_cap_units=args.horizon,
             modes=modes,
+            release_model=_release_model_from_args(args),
+            initial_history=args.initial_history,
         )
         verdicts = "  ".join(
             f"{audit.mode}: {'ok' if audit.ok else f'{len(audit.issues)} issue(s)'}"
@@ -481,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fold repeated hyperperiod cycles analytically (implies "
         "--no-trace; exact for fault-free and permanent-fault runs)",
     )
+    _add_release_args(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     # Quick sweeps default to the documented smoke scale; `triage`
@@ -584,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
         "task sets instead of redrawing them; results are identical "
         "either way",
     )
+    _add_release_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     triage = sub.add_parser(
@@ -681,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero if the Selective-vs-DP ordering regresses or "
         "any run shows (m,k) violations / cross-mode divergence",
     )
+    _add_release_args(triage)
     triage.set_defaults(func=cmd_triage)
 
     validate = sub.add_parser(
@@ -710,6 +761,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--seed", type=int, default=20200309, help="fault scenario seed"
     )
+    _add_release_args(validate)
     validate.set_defaults(func=cmd_validate)
 
     serve = sub.add_parser(

@@ -128,10 +128,16 @@ def _run_panel(
     fold: bool = False,
     validate: int = 0,
     generation_store=None,
+    release_model=None,
+    initial_history: Optional[str] = None,
 ) -> SweepResult:
     proto = protocol or ExperimentProtocol.documented()
     if power_model is None and not proto.uses_default_power_model():
         power_model = proto.power_model()
+    if release_model is None:
+        release_model = proto.release_model
+    if initial_history is None:
+        initial_history = proto.initial_history
     return utilization_sweep(
         bins=list(proto.bins) if bins is None else bins,
         schemes=schemes,
@@ -161,6 +167,8 @@ def _run_panel(
         fold=fold,
         validate=validate,
         generation_store=generation_store,
+        release_model=release_model,
+        initial_history=initial_history,
     )
 
 

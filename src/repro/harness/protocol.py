@@ -36,8 +36,10 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..energy.power import PowerModel
 from ..errors import ConfigurationError
+from ..model.history import INITIAL_HISTORY_MODES
 from ..timebase import as_fraction
 from ..workload.generator import GeneratorConfig
+from ..workload.release import ReleaseModel, resolve_release_model
 
 #: The paper's x-axis: 0.1-wide (m,k)-utilization bins over (0, 1].
 DEFAULT_BINS: Tuple[Tuple[float, float], ...] = tuple(
@@ -75,6 +77,14 @@ class ExperimentProtocol:
             (paper: 1 ms).
         permanent_seed_base: fault-draw seed base for Figure 6(b).
         transient_seed_base: fault-draw seed base for Figure 6(c).
+        release_model: job arrival process
+            (:class:`~repro.workload.release.ReleaseModel`); None keeps
+            the paper's strictly periodic releases.  Periodic models
+            normalize to None so the fingerprints/journals of explicit
+            periodic requests match the historical default.
+        initial_history: (m,k)-history boundary condition, one of
+            :data:`repro.model.history.INITIAL_HISTORY_MODES` (the paper
+            assumes ``"met"``: every pre-horizon job met its deadline).
     """
 
     sets_per_bin: int = 15
@@ -85,6 +95,8 @@ class ExperimentProtocol:
     break_even_units: Fraction = Fraction(1)
     permanent_seed_base: int = 1_000_000
     transient_seed_base: int = 2_000_000
+    release_model: Optional[ReleaseModel] = None
+    initial_history: str = "met"
 
     def __post_init__(self) -> None:
         if self.sets_per_bin < 1:
@@ -103,6 +115,14 @@ class ExperimentProtocol:
         )
         if self.break_even_units < 0:
             raise ConfigurationError("break_even_units must be >= 0")
+        object.__setattr__(
+            self, "release_model", resolve_release_model(self.release_model)
+        )
+        if self.initial_history not in INITIAL_HISTORY_MODES:
+            raise ConfigurationError(
+                f"initial_history must be one of {INITIAL_HISTORY_MODES}, "
+                f"got {self.initial_history!r}"
+            )
 
     @classmethod
     def documented(cls, **overrides: Any) -> "ExperimentProtocol":
@@ -150,7 +170,7 @@ class ExperimentProtocol:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able description, for reports and fingerprints."""
-        return {
+        payload: Dict[str, Any] = {
             "sets_per_bin": self.sets_per_bin,
             "horizon_cap_units": self.horizon_cap_units,
             "seed": self.seed,
@@ -167,6 +187,13 @@ class ExperimentProtocol:
             "permanent_seed_base": self.permanent_seed_base,
             "transient_seed_base": self.transient_seed_base,
         }
+        # Conditional keys keep default protocols' dicts (and everything
+        # fingerprinted off them) byte-identical to pre-knob output.
+        if self.release_model is not None:
+            payload["release_model"] = self.release_model.as_dict()
+        if self.initial_history != "met":
+            payload["initial_history"] = self.initial_history
+        return payload
 
 
 def documented_protocol() -> ExperimentProtocol:

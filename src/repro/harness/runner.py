@@ -73,6 +73,8 @@ def run_scheme(
     execution_time_fn=None,
     collect_trace: bool = True,
     fold: bool = False,
+    release_model=None,
+    initial_history: str = "met",
 ) -> RunOutcome:
     """Simulate one scheme and account its energy and QoS.
 
@@ -87,7 +89,13 @@ def run_scheme(
             (see :mod:`repro.workload.acet`); None charges full WCETs.
         collect_trace: False runs stats-only -- same energy and metrics,
             no trace; required by ``fold``.
-        fold: enable the engine's cycle-folding fast path.
+        fold: enable the engine's cycle-folding fast path (self-disables
+            when ``release_model`` makes the timeline non-periodic).
+        release_model: arrival process
+            (:class:`~repro.workload.release.ReleaseModel`); None keeps
+            the paper's periodic releases.
+        initial_history: (m,k)-history boundary condition, one of
+            :data:`repro.model.history.INITIAL_HISTORY_MODES`.
     """
     try:
         factory = SCHEME_FACTORIES[scheme]
@@ -100,7 +108,7 @@ def run_scheme(
         ("horizon", taskset.fingerprint(), base.ticks_per_unit, horizon_cap_units),
         lambda: analysis_horizon(taskset, base, horizon_cap_units),
     )
-    timeline = shared_release_timeline(taskset, horizon, base)
+    timeline = shared_release_timeline(taskset, horizon, base, release_model)
     result = run_policy(
         taskset,
         factory(),
@@ -111,6 +119,7 @@ def run_scheme(
         collect_trace=collect_trace,
         fold=fold,
         release_timeline=timeline,
+        initial_history=initial_history,
     )
     energy = energy_of_result(result, power_model or PowerModel.paper_default())
     return RunOutcome(

@@ -59,10 +59,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..energy.power import PowerModel
 from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
+from ..model.history import normalize_initial_history
 from ..model.taskset import TaskSet
 from ..sim.validation import ValidationIssue
 from ..workload.fastgen import GenerationStats, generate_single_bin
 from ..workload.generator import GeneratorConfig, generate_binned_tasksets
+from ..workload.release import resolve_release_model
 from .events import (
     BATCH_PROGRESS,
     GENERATION,
@@ -262,15 +264,16 @@ def _maybe_crash_for_tests() -> None:
 def _run_one(job: tuple) -> Tuple[float, int, int]:
     """Module-level worker so ProcessPoolExecutor can pickle it.
 
-    ``job`` is a descriptor tuple:
+    ``job`` is a descriptor tuple (every kind's tail is ``scheme,
+    scenario, horizon_cap_units, collect_trace, fold, power_model,
+    release_model, initial_history``):
 
     * ``("set", taskset, scheme, scenario, horizon_cap_units,
-      collect_trace, fold, power_model)`` carries a pickled TaskSet
-      (used for explicitly supplied workloads and for the inline
-      ``workers=1`` path);
+      collect_trace, fold, power_model, release_model,
+      initial_history)`` carries a pickled TaskSet (used for explicitly
+      supplied workloads and for the inline ``workers=1`` path);
     * ``("gen", bins, sets_per_bin, config, seed, bin_range, index,
-      scheme, scenario, horizon_cap_units, collect_trace, fold,
-      power_model)`` names a task set by position within a deterministic
+      scheme, ...)`` names a task set by position within a deterministic
       generation, regenerated worker-side via :data:`_WORKER_TASKSETS`
       (legacy full-sweep path, kept as the fallback);
     * ``("genbin", bins, sets_per_bin, config, seed, bin_range,
@@ -292,33 +295,20 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
     """
     _maybe_crash_for_tests()
     kind = job[0]
+    (
+        scheme,
+        scenario,
+        horizon_cap_units,
+        collect_trace,
+        fold,
+        power_model,
+        release_model,
+        initial_history,
+    ) = job[-8:]
     if kind == "set":
-        (
-            _,
-            taskset,
-            scheme,
-            scenario,
-            horizon_cap_units,
-            collect_trace,
-            fold,
-            power_model,
-        ) = job
+        taskset = job[1]
     elif kind == "gen":
-        (
-            _,
-            bins,
-            sets_per_bin,
-            config,
-            seed,
-            bin_range,
-            index,
-            scheme,
-            scenario,
-            horizon_cap_units,
-            collect_trace,
-            fold,
-            power_model,
-        ) = job
+        (_, bins, sets_per_bin, config, seed, bin_range, index) = job[:7]
         taskset = _regenerated_tasksets(bins, sets_per_bin, config, seed)[
             bin_range
         ][index]
@@ -332,13 +322,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
             bin_range,
             rng_state,
             index,
-            scheme,
-            scenario,
-            horizon_cap_units,
-            collect_trace,
-            fold,
-            power_model,
-        ) = job
+        ) = job[:8]
         taskset = _worker_bin_tasksets(
             bins, sets_per_bin, config, seed, bin_range, rng_state
         )[index]
@@ -353,13 +337,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
             seed,
             bin_range,
             index,
-            scheme,
-            scenario,
-            horizon_cap_units,
-            collect_trace,
-            fold,
-            power_model,
-        ) = job
+        ) = job[:9]
         taskset = _store_bin_tasksets(
             store_root, store_digest, bins, sets_per_bin, config, seed, bin_range
         )[index]
@@ -373,6 +351,8 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
         power_model=power_model,
         collect_trace=collect_trace,
         fold=fold,
+        release_model=release_model,
+        initial_history=initial_history,
     )
     return (
         outcome.total_energy,
@@ -421,6 +401,8 @@ def _execute_batch_jobs(
     events: EventLog,
     horizon_cap_units: int,
     power_model: Optional[PowerModel],
+    release_model=None,
+    initial_history: str = "met",
 ) -> List[Tuple[str, Any]]:
     """The ``backend="batch"`` execution path of the sweep.
 
@@ -460,6 +442,8 @@ def _execute_batch_jobs(
             scenario,
             horizon_cap_units=horizon_cap_units,
             power_model=power_model,
+            release_model=release_model,
+            initial_history=initial_history,
         )
         if item is None:
             scalar.append(index)
@@ -910,6 +894,10 @@ class ExecutionRequest:
         events: the run's event log.
         horizon_cap_units: simulation horizon cap per job.
         power_model: energy model shared by every job (None = default).
+        release_model: arrival process shared by every job (None = the
+            paper's periodic releases); non-periodic models make jobs
+            non-batchable, like transient faults do.
+        initial_history: (m,k)-history boundary condition per job.
     """
 
     jobs: Sequence[Any]
@@ -922,6 +910,8 @@ class ExecutionRequest:
     events: EventLog
     horizon_cap_units: int
     power_model: Optional[PowerModel]
+    release_model: Any = None
+    initial_history: str = "met"
 
 
 class ExecutionDriver:
@@ -1003,6 +993,8 @@ class BatchDriver(ExecutionDriver):
             events=request.events,
             horizon_cap_units=request.horizon_cap_units,
             power_model=request.power_model,
+            release_model=request.release_model,
+            initial_history=request.initial_history,
         )
 
 
@@ -1142,6 +1134,8 @@ def _sweep_fingerprint(
     horizon_cap_units: int,
     supplied_tasksets: Optional[Dict[Tuple[float, float], List[TaskSet]]],
     power_model: Optional[PowerModel] = None,
+    release_model=None,
+    initial_history: str = "met",
 ) -> Dict[str, Any]:
     """JSON-able identity of a sweep, for journal header validation.
 
@@ -1151,7 +1145,12 @@ def _sweep_fingerprint(
     stats-only, folded, or on the batch backend resumes a trace-mode
     pool sweep -- and vice versa -- with bitwise-equal payloads.  A non-default ``power_model`` *is* part of the identity
     (it changes every energy payload); the default (None) is omitted so
-    journals recorded before the knob existed still resume.
+    journals recorded before the knob existed still resume.  The same
+    conditional-inclusion rule covers ``release_model`` (None = the
+    paper's periodic arrivals) and ``initial_history`` (``"met"`` = the
+    paper's boundary condition): non-defaults change every payload, so
+    they enter the identity; defaults stay absent for backward
+    journal compatibility.
     """
     if supplied_tasksets is None:
         workload: Any = "generated"
@@ -1175,6 +1174,10 @@ def _sweep_fingerprint(
     }
     if power_model is not None:
         fingerprint["power_model"] = repr(power_model)
+    if release_model is not None:
+        fingerprint["release_model"] = release_model.as_dict()
+    if initial_history != "met":
+        fingerprint["initial_history"] = initial_history
     return fingerprint
 
 
@@ -1203,6 +1206,8 @@ def utilization_sweep(
     fold: bool = False,
     validate: int = 0,
     generation_store: "Optional[GenerationStore | str]" = None,
+    release_model=None,
+    initial_history: str = "met",
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -1280,6 +1285,17 @@ def utilization_sweep(
             them; pool workers read only the bin shards their jobs
             reference.  Purely an execution knob: results, journal rows,
             and the sweep fingerprint are identical with or without it.
+        release_model: job arrival process
+            (:class:`~repro.workload.release.ReleaseModel`, a preset
+            name, or a model dict); None or a periodic model keeps the
+            paper's strictly periodic releases (and the historical
+            fingerprint).  Non-periodic models enter the journal
+            fingerprint, disarm cycle folding per run, and make every
+            job non-batchable (the batch backend falls back to the
+            scalar engine per job, like transient faults).
+        initial_history: (m,k)-history boundary condition for every job,
+            one of :data:`repro.model.history.INITIAL_HISTORY_MODES`;
+            non-default modes enter the journal fingerprint.
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -1306,6 +1322,8 @@ def utilization_sweep(
         )
     if validate < 0:
         raise ConfigurationError(f"validate must be >= 0, got {validate}")
+    release_model = resolve_release_model(release_model)
+    initial_history = normalize_initial_history(initial_history)
     policy = ExecutionPolicy(
         job_timeout=job_timeout,
         max_retries=max_retries,
@@ -1325,6 +1343,8 @@ def utilization_sweep(
         horizon_cap_units,
         tasksets_by_bin,
         power_model,
+        release_model,
+        initial_history,
     )
     gen_store: Optional[GenerationStore] = (
         GenerationStore(generation_store)
@@ -1434,7 +1454,7 @@ def utilization_sweep(
                             ("store", gen_store.root, gen_digest,
                              *generated_spec, key, index, scheme, scenario,
                              horizon_cap_units, collect_trace, fold,
-                             power_model)
+                             power_model, release_model, initial_history)
                         )
                     else:
                         bin_state = (
@@ -1445,12 +1465,14 @@ def utilization_sweep(
                         jobs.append(
                             ("genbin", *generated_spec, key, bin_state, index,
                              scheme, scenario, horizon_cap_units,
-                             collect_trace, fold, power_model)
+                             collect_trace, fold, power_model, release_model,
+                             initial_history)
                         )
                 else:
                     jobs.append(
                         ("set", taskset, scheme, scenario, horizon_cap_units,
-                         collect_trace, fold, power_model)
+                         collect_trace, fold, power_model, release_model,
+                         initial_history)
                     )
 
     log.emit(
@@ -1483,6 +1505,8 @@ def utilization_sweep(
                 events=log,
                 horizon_cap_units=horizon_cap_units,
                 power_model=power_model,
+                release_model=release_model,
+                initial_history=initial_history,
             )
         )
     finally:
@@ -1587,6 +1611,8 @@ def utilization_sweep(
                     horizon_cap_units=horizon_cap_units,
                     modes=audit_modes,
                     power_model=power_model,
+                    release_model=release_model,
+                    initial_history=initial_history,
                 )
                 log.emit(
                     VALIDATE,

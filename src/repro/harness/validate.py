@@ -130,6 +130,8 @@ def audit_scheme(
     horizon_cap_units: int = 2000,
     modes: Sequence[str] = AUDIT_MODES,
     power_model: Optional[PowerModel] = None,
+    release_model=None,
+    initial_history: str = "met",
 ) -> AuditReport:
     """Run one scheme in every requested mode and audit each run.
 
@@ -143,6 +145,13 @@ def audit_scheme(
             always happens (it is the reference); listing ``"trace"``
             additionally audits it against the conformance spec.
         power_model: energy model (default: the paper's).
+        release_model: arrival process shared by every mode's run (None
+            = the paper's periodic releases).  Under a non-periodic
+            model the ``"fold"`` mode still runs -- folding self-disables
+            in the engine, so the audit doubles as a regression check
+            that the fallback matches the trace reference exactly.
+        initial_history: (m,k)-history boundary condition shared by
+            every mode's run (and by the FD replay of the trace audit).
 
     Returns:
         An :class:`AuditReport` with one :class:`ModeAudit` per
@@ -162,6 +171,8 @@ def audit_scheme(
         horizon_cap_units=horizon_cap_units,
         power_model=model,
         collect_trace=True,
+        release_model=release_model,
+        initial_history=initial_history,
     )
     reference_ledger = result_ledger(reference.result)
     audits = []
@@ -169,7 +180,9 @@ def audit_scheme(
         if mode not in modes:
             continue
         if mode == "trace":
-            issues = audit_result(reference.result, spec)
+            issues = audit_result(
+                reference.result, spec, initial_history_met=initial_history
+            )
             issues += audit_energy(reference.result, reference.energy)
             audits.append(ModeAudit(mode="trace", issues=tuple(issues)))
             continue
@@ -181,6 +194,8 @@ def audit_scheme(
             power_model=model,
             collect_trace=False,
             fold=(mode == "fold"),
+            release_model=release_model,
+            initial_history=initial_history,
         )
         issues = compare_ledgers(
             reference_ledger, result_ledger(outcome.result), label=mode

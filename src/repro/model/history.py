@@ -33,6 +33,14 @@ from typing import Deque, Iterable, Sequence
 from ..errors import ModelError
 from .mk import MKConstraint
 
+#: Supported boundary conditions for the (m,k) history "before time zero":
+#: ``"met"`` is the paper's assumption (every pre-horizon job met its
+#: deadline), ``"miss"`` the deeply-pessimistic all-miss start, and
+#: ``"rpattern"`` seeds the window as if the task had been following its
+#: R-pattern, so the first simulated job is the pattern's next mandatory
+#: one (Goossens: the initial k-sequence changes (m,k) schedulability).
+INITIAL_HISTORY_MODES = ("met", "miss", "rpattern")
+
 
 def flexibility_degree(history: Sequence[bool], mk: MKConstraint) -> int:
     """Flexibility degree of the next job given the last k-1 outcomes.
@@ -182,3 +190,65 @@ class MKHistory:
     def __repr__(self) -> str:
         shown = "".join("1" if flag else "0" for flag in self._window)
         return f"MKHistory(mk={self.mk}, window='{shown}')"
+
+
+def normalize_initial_history(value) -> str:
+    """Normalize an initial-history knob to one of the named modes.
+
+    Accepts the mode strings plus the legacy booleans (``True`` was the
+    paper's all-met boundary, ``False`` the all-miss one).
+    """
+    if value is True:
+        return "met"
+    if value is False:
+        return "miss"
+    if value in INITIAL_HISTORY_MODES:
+        return value
+    raise ModelError(
+        f"unknown initial-history mode {value!r}; "
+        f"choose from {INITIAL_HISTORY_MODES}"
+    )
+
+
+def make_initial_history(mk: MKConstraint, mode: str = "met") -> MKHistory:
+    """A fresh :class:`MKHistory` seeded with one boundary condition.
+
+    The returned history has ``recorded == misses == 0`` regardless of
+    mode -- the seed describes jobs *before* the simulated horizon, so it
+    shapes the first flexibility degrees without polluting the counters
+    the violation accounting reads.
+    """
+    if mode == "met":
+        return MKHistory(mk, initial_met=True)
+    if mode == "miss":
+        return MKHistory(mk, initial_met=False)
+    if mode == "rpattern":
+        from .patterns import RPattern
+
+        history = MKHistory(mk, initial_met=False)
+        # Seed the k-1 window with the pattern's outcomes for jobs
+        # j = 2..k, oldest first, so the next (first simulated) job sits
+        # at j === 1 (mod k) -- the pattern's next mandatory slot.
+        for bit in RPattern(mk).bits(mk.k)[1:]:
+            history.record(bool(bit))
+        history._recorded = 0
+        history._misses = 0
+        return history
+    raise ModelError(
+        f"unknown initial-history mode {mode!r}; "
+        f"choose from {INITIAL_HISTORY_MODES}"
+    )
+
+
+def packed_initial_window(mk: MKConstraint, mode: str = "met") -> int:
+    """The boundary window as a k-1-bit mask, newest outcome in bit 0.
+
+    Matches the batch kernel's packed-history convention so the
+    vectorized engine can seed ``fd_win`` bit-identically to the scalar
+    engine's :func:`make_initial_history`.
+    """
+    outcomes = make_initial_history(mk, mode).outcomes()
+    packed = 0
+    for offset, outcome in enumerate(reversed(outcomes)):
+        packed |= int(outcome) << offset
+    return packed

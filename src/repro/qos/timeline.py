@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..model.history import MKHistory
+from ..model.history import make_initial_history
 from ..model.mk import MKConstraint
 from ..sim.engine import SimulationResult
 
@@ -24,7 +24,8 @@ class TaskTimeline:
         task_index: the task.
         outcomes: per-job success flags in release order.
         flexibility_degrees: FD of each job at its release (reconstructed
-            with the engine's boundary condition, all-met history).
+            with the engine's boundary condition; pass the run's
+            ``initial_history`` mode to match a non-default run).
         window_successes: successes in the k-window ending at each job
             (only defined from job k onward; earlier entries are None).
         worst_window: the minimum over defined window success counts
@@ -68,11 +69,20 @@ class TaskTimeline:
         return "\n".join(lines)
 
 
-def task_timeline(result: SimulationResult, task_index: int) -> TaskTimeline:
-    """Build one task's timeline from a simulation result."""
+def task_timeline(
+    result: SimulationResult,
+    task_index: int,
+    initial_history: str = "met",
+) -> TaskTimeline:
+    """Build one task's timeline from a simulation result.
+
+    ``initial_history`` must match the boundary condition the run was
+    simulated under (see :data:`repro.model.history.INITIAL_HISTORY_MODES`)
+    for the reconstructed FDs to equal what the scheduler saw.
+    """
     task = result.taskset[task_index]
     outcomes = result.trace.outcomes_for_task(task_index)
-    history = MKHistory(task.mk)
+    history = make_initial_history(task.mk, initial_history)
     flexibility_degrees: List[int] = []
     for outcome in outcomes:
         flexibility_degrees.append(history.flexibility_degree())
@@ -93,16 +103,21 @@ def task_timeline(result: SimulationResult, task_index: int) -> TaskTimeline:
     )
 
 
-def all_timelines(result: SimulationResult) -> Dict[int, TaskTimeline]:
+def all_timelines(
+    result: SimulationResult, initial_history: str = "met"
+) -> Dict[int, TaskTimeline]:
     """Timelines for every task of a run."""
     return {
-        index: task_timeline(result, index)
+        index: task_timeline(result, index, initial_history)
         for index in range(len(result.taskset))
     }
 
 
-def render_timelines(result: SimulationResult) -> str:
+def render_timelines(
+    result: SimulationResult, initial_history: str = "met"
+) -> str:
     """All tasks' timelines as one report string."""
     return "\n".join(
-        timeline.render() for timeline in all_timelines(result).values()
+        timeline.render()
+        for timeline in all_timelines(result, initial_history).values()
     )

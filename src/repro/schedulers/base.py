@@ -11,6 +11,7 @@ from ..sim.engine import (
     SimulationResult,
     StandbySparingEngine,
 )
+from ..sim.timeline import shared_release_timeline
 from ..timebase import TimeBase
 
 
@@ -24,6 +25,8 @@ def run_policy(
     collect_trace: bool = True,
     fold: bool = False,
     release_timeline=None,
+    release_model=None,
+    initial_history: str = "met",
 ) -> SimulationResult:
     """Simulate one policy over one task set under a fault scenario.
 
@@ -41,13 +44,24 @@ def run_policy(
         collect_trace: False runs in stats-only mode (aggregate counters,
             no trace -- what sweeps consume).
         fold: enable the engine's cycle-folding fast path (requires
-            ``collect_trace=False``).
+            ``collect_trace=False``; self-disables on a non-periodic
+            release timeline).
         release_timeline: precomputed
             :class:`~repro.sim.timeline.ReleaseTimeline` to reuse.
+        release_model: arrival process
+            (:class:`~repro.workload.release.ReleaseModel`) used to build
+            the timeline when none was supplied; None keeps the paper's
+            periodic releases.
+        initial_history: (m,k)-history boundary condition, one of
+            :data:`repro.model.history.INITIAL_HISTORY_MODES`.
     """
     base = timebase or taskset.timebase()
     fault_scenario = scenario or FaultScenario.none()
     transient, permanent = fault_scenario.materialize(horizon_ticks, base)
+    if release_timeline is None and release_model is not None:
+        release_timeline = shared_release_timeline(
+            taskset, horizon_ticks, base, release_model
+        )
     engine = StandbySparingEngine(
         taskset=taskset,
         policy=policy,
@@ -55,6 +69,7 @@ def run_policy(
         timebase=base,
         transient_fault_fn=transient,
         permanent_fault=permanent,
+        initial_history_met=initial_history,
         execution_time_fn=execution_time_fn,
         collect_trace=collect_trace,
         fold=fold,

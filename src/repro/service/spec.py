@@ -30,6 +30,8 @@ from ..errors import ConfigurationError
 from ..harness.protocol import DEFAULT_BINS, ExperimentProtocol
 from ..harness.runner import PAPER_SCHEMES, SCHEME_FACTORIES
 from ..harness.sweep import _sweep_fingerprint, resolve_driver
+from ..model.history import INITIAL_HISTORY_MODES
+from ..workload.release import ReleaseModel, resolve_release_model
 
 #: Fault regimes, mapping onto the Figure 6 panels.
 FAULT_REGIMES = ("none", "permanent", "transient")
@@ -61,8 +63,20 @@ class SweepSpec:
     collect_trace: bool = False
     fold: bool = False
     validate: int = 0
+    release_model: Optional[ReleaseModel] = None
+    initial_history: str = "met"
 
     def __post_init__(self) -> None:
+        # Normalizes periodic models to None so an explicit periodic
+        # submission digests identically to the historical default.
+        object.__setattr__(
+            self, "release_model", resolve_release_model(self.release_model)
+        )
+        if self.initial_history not in INITIAL_HISTORY_MODES:
+            raise ConfigurationError(
+                f"initial_history must be one of {INITIAL_HISTORY_MODES}, "
+                f"got {self.initial_history!r}"
+            )
         if self.faults not in FAULT_REGIMES:
             raise ConfigurationError(
                 f"unknown faults regime {self.faults!r}; "
@@ -143,13 +157,19 @@ class SweepSpec:
                             f"{key} must be a JSON boolean, got {value!r}"
                         )
                     kwargs[key] = value
+            if "release_model" in payload:
+                # A preset name, a {"kind": ...} document, or null;
+                # resolve_release_model in __post_init__ validates it.
+                kwargs["release_model"] = payload["release_model"]
+            if "initial_history" in payload:
+                kwargs["initial_history"] = str(payload["initial_history"])
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed sweep spec: {exc}") from exc
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
         """The spec as a JSON-able document (inverse of :meth:`from_dict`)."""
-        return {
+        payload: Dict[str, Any] = {
             "faults": self.faults,
             "bins": [[lo, hi] for lo, hi in self.bins],
             "schemes": list(self.schemes),
@@ -162,6 +182,12 @@ class SweepSpec:
             "fold": self.fold,
             "validate": self.validate,
         }
+        # Conditional keys keep pre-knob job documents byte-identical.
+        if self.release_model is not None:
+            payload["release_model"] = self.release_model.as_dict()
+        if self.initial_history != "met":
+            payload["initial_history"] = self.initial_history
+        return payload
 
     def journal_fingerprint(self) -> Dict[str, Any]:
         """The fingerprint the job's :class:`RunJournal` header carries."""
@@ -175,6 +201,8 @@ class SweepSpec:
             self.horizon_cap_units,
             None,  # workload is always generated server-side
             None,  # power model: the paper default
+            release_model=self.release_model,
+            initial_history=self.initial_history,
         )
 
     def identity(self) -> Dict[str, Any]:
@@ -230,4 +258,6 @@ class SweepSpec:
             fold=self.fold,
             validate=self.validate,
             generation_store=generation_store,
+            release_model=self.release_model,
+            initial_history=self.initial_history,
         )

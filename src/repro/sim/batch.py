@@ -68,7 +68,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..model.history import MKHistory
+from ..model.history import (
+    MKHistory,
+    make_initial_history,
+    packed_initial_window,
+)
 from ..model.taskset import TaskSet
 from ..timebase import TimeBase
 from .batch_profile import BatchProfile
@@ -150,6 +154,7 @@ class BatchItem:
     timeline: ReleaseTimeline
     permanent: Optional[Tuple[int, int]]
     power_model: object = None
+    initial_history: str = "met"
 
 
 def build_batch_item(
@@ -158,6 +163,8 @@ def build_batch_item(
     scenario=None,
     horizon_cap_units: int = 2000,
     power_model=None,
+    release_model=None,
+    initial_history: str = "met",
 ) -> Optional[BatchItem]:
     """Resolve one sweep job into a :class:`BatchItem`, or None.
 
@@ -165,10 +172,13 @@ def build_batch_item(
     same cached horizon, same shared release timeline, same scenario
     materialization (which is pure, so a scalar fallback re-materializes
     identical faults).  Returns None whenever the job must run on the
-    scalar engine: transient faults possible, no batch profile, or a
-    window too deep to pack.
+    scalar engine: transient faults possible, a non-periodic release
+    model (the kernel's lockstep release tables assume the periodic
+    recurrence), no batch profile, or a window too deep to pack.
     """
     if _np is None:
+        return None
+    if release_model is not None and not release_model.is_periodic():
         return None
     from ..analysis.cache import analysis_cache
     from ..analysis.hyperperiod import analysis_horizon
@@ -200,7 +210,9 @@ def build_batch_item(
     if not getattr(transient, "never_faults", False):
         return None
     policy = factory()
-    histories = [MKHistory(task.mk) for task in taskset]
+    histories = [
+        make_initial_history(task.mk, initial_history) for task in taskset
+    ]
     ctx = PolicyContext(
         taskset=taskset,
         timebase=base,
@@ -227,6 +239,7 @@ def build_batch_item(
         timeline=timeline,
         permanent=permanent,
         power_model=power_model,
+        initial_history=initial_history,
     )
 
 
@@ -418,8 +431,15 @@ class _Kernel:
         self.run_b = np.zeros((S, 2), dtype=bool)
         self.run_end = np.full((S, 2), INF, dtype=i64)
         self.sticky_task = np.full((S, 2), -1, dtype=i64)
-        # Histories start "all met" (engine default initial_history_met).
+        # Histories seed from each item's boundary condition; the default
+        # all-met window is exactly the full k-1-bit mask.
         self.fd_win = self.fdmask.copy()
+        for s, item in enumerate(items):
+            if item.initial_history != "met":
+                for t, task in enumerate(item.taskset):
+                    self.fd_win[s, t] = packed_initial_window(
+                        task.mk, item.initial_history
+                    )
         self.tr_win = zeros()
         self.tr_cnt = zeros()
         self.violations = zeros()

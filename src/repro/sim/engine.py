@@ -50,7 +50,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.hyperperiod import lcm_ticks
 from ..errors import ConfigurationError, SimulationError
-from ..model.history import MKHistory
+from ..model.history import (
+    MKHistory,
+    make_initial_history,
+    normalize_initial_history,
+)
 from ..model.job import FINISHED_STATUSES, Job, JobOutcome, JobRole, JobStatus
 from ..model.patterns import is_window_periodic
 from ..model.taskset import TaskSet
@@ -367,7 +371,7 @@ class StandbySparingEngine:
         timebase: Optional[TimeBase] = None,
         transient_fault_fn: Optional[TransientFaultFn] = None,
         permanent_fault: Optional[Tuple[int, int]] = None,
-        initial_history_met: bool = True,
+        initial_history_met: "str | bool" = True,
         execution_time_fn: Optional[ExecutionTimeFn] = None,
         collect_trace: bool = True,
         fold: bool = False,
@@ -384,7 +388,11 @@ class StandbySparingEngine:
             transient_fault_fn: per-copy fault oracle, or None for no
                 transient faults.
             permanent_fault: optional (processor, tick) permanent fault.
-            initial_history_met: boundary condition for (m,k)-histories.
+            initial_history_met: boundary condition for (m,k)-histories:
+                a mode from
+                :data:`repro.model.history.INITIAL_HISTORY_MODES`
+                (``"met"``/``"miss"``/``"rpattern"``) or the legacy
+                booleans (True = "met", False = "miss").
             execution_time_fn: actual execution time model (ACET < WCET);
                 None charges every job its full WCET (the paper's model).
             collect_trace: when False, skip all trace construction and
@@ -417,7 +425,7 @@ class StandbySparingEngine:
                 raise ConfigurationError(f"bad processor {processor} in fault spec")
             if tick < 0:
                 raise ConfigurationError(f"fault tick must be >= 0, got {tick}")
-        self._initial_history_met = initial_history_met
+        self._initial_history = normalize_initial_history(initial_history_met)
         self.execution_time_fn = execution_time_fn
         self.collect_trace = collect_trace
         self.fold = fold
@@ -431,7 +439,7 @@ class StandbySparingEngine:
         taskset = self.taskset
         task_count = len(taskset)
         histories = [
-            MKHistory(task.mk, initial_met=self._initial_history_met)
+            make_initial_history(task.mk, self._initial_history)
             for task in taskset
         ]
         ctx = PolicyContext(
@@ -547,6 +555,11 @@ class StandbySparingEngine:
         if (
             self.fold
             and not collect
+            # A non-periodic timeline has no hyperperiod recurrence: a
+            # snapshot match at one boundary says nothing about the next
+            # cycle's releases, so folding must self-disable (the run
+            # degrades to exact stats-mode simulation, not silent folds).
+            and timeline.periodic
             and execution_time_fn is None
             and (
                 transient_fault_fn is None

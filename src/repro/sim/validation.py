@@ -47,7 +47,11 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..energy.dpd import shutdown_decision
-from ..model.history import MKHistory
+from ..model.history import (
+    MKHistory,
+    make_initial_history,
+    normalize_initial_history,
+)
 from ..model.job import JobOutcome, JobRole
 from ..model.patterns import Pattern
 from ..qos.monitor import verify_mk
@@ -173,7 +177,14 @@ def validate_result(
 
     for key, ticks in executed.items():
         task_index, job_index = key
-        release = (job_index - 1) * periods[task_index]
+        record = result.trace.records.get(key)
+        # The record carries the actual release tick; non-periodic
+        # release models place job j later than (j - 1) * P.
+        release = (
+            record.release
+            if record is not None
+            else (job_index - 1) * periods[task_index]
+        )
         deadline = release + deadlines[task_index]
         wcet = wcets[task_index]
         if first_start[key] < release:
@@ -266,7 +277,7 @@ def audit_result(
     result: SimulationResult,
     spec: Optional[ConformanceSpec] = None,
     max_copies: Optional[int] = None,
-    initial_history_met: bool = True,
+    initial_history_met: "str | bool" = True,
 ) -> List[ValidationIssue]:
     """Model-level checks plus the scheme checks declared by ``spec``.
 
@@ -278,7 +289,8 @@ def audit_result(
         max_copies: override for the execution cap; defaults to
             ``spec.max_copies`` (or 2 without a spec).
         initial_history_met: the (m,k)-history boundary condition the
-            audited run used (must match for the FD replay to be exact).
+            audited run used (must match for the FD replay to be exact):
+            a mode string or the legacy booleans.
     """
     if max_copies is None:
         max_copies = spec.max_copies if spec is not None else 2
@@ -299,7 +311,7 @@ def audit_result(
 def _audit_classification(
     result: SimulationResult,
     spec: ConformanceSpec,
-    initial_history_met: bool,
+    initial_history_met: "str | bool",
 ) -> List[ValidationIssue]:
     """Replay each task's (m,k)-history and check every classification.
 
@@ -312,7 +324,9 @@ def _audit_classification(
     trace = result.trace
     for task_index, task in enumerate(result.taskset):
         tc = spec.tasks[task_index]
-        history = MKHistory(task.mk, initial_met=initial_history_met)
+        history = make_initial_history(
+            task.mk, normalize_initial_history(initial_history_met)
+        )
         for key in sorted(k for k in trace.records if k[0] == task_index):
             record = trace.records[key]
             job_index = key[1]

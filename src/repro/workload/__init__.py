@@ -2,6 +2,7 @@
 
 from .uunifast import uunifast
 from .generator import GeneratorConfig, TaskSetGenerator, generate_binned_tasksets
+from .release import RELEASE_PRESETS, ReleaseModel, resolve_release_model
 from .presets import (
     fig1_taskset,
     fig3_taskset,
@@ -23,6 +24,9 @@ __all__ = [
     "GeneratorConfig",
     "TaskSetGenerator",
     "generate_binned_tasksets",
+    "RELEASE_PRESETS",
+    "ReleaseModel",
+    "resolve_release_model",
     "fig1_taskset",
     "fig3_taskset",
     "fig5_taskset",

@@ -36,6 +36,12 @@ from ..analysis.schedulability import is_rpattern_schedulable
 from ..errors import WorkloadError
 from ..model.task import Task
 from ..model.taskset import TaskSet
+from .release import (  # noqa: F401  (re-export: arrival models live here)
+    RELEASE_KINDS,
+    RELEASE_PRESETS,
+    ReleaseModel,
+    resolve_release_model,
+)
 from .uunifast import uunifast
 
 #: Admission filters a :class:`GeneratorConfig` can apply to raw draws:

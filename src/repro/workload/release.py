@@ -1,0 +1,201 @@
+"""Release models: how job arrivals deviate from strict periodicity.
+
+The paper evaluates strictly periodic arrivals -- task i releases job j
+at exactly ``(j - 1) * P_i``.  Real (m,k)-firm workloads are sporadic:
+``P_i`` is only a *minimum* inter-arrival time (Bonifaci &
+Marchetti-Spaccamela ground the sporadic multiprocessor setting), and
+bursty sources cluster minimum-separation arrivals between long gaps.
+A :class:`ReleaseModel` describes one such arrival process, seeded and
+deterministic, so sweeps off the periodic happy path stay reproducible
+and journal-resumable.
+
+All models are *sporadic-legal*: every inter-arrival time is at least
+the task period, so the (m,k) demand never exceeds the periodic case's.
+The first job of every task still arrives at time 0 (the critical
+instant), keeping the periodic model a strict special case:
+
+* ``periodic`` -- the paper's model, byte-identical to the historical
+  timeline (``jitter``/``burst_*`` must stay at their defaults).
+* ``sporadic`` -- accumulated jitter: the j-th inter-arrival is
+  ``P + U{0, floor(jitter * P)}`` ticks, drawn per task from a seeded
+  stream.  ``jitter`` is the classic release-jitter bound as a fraction
+  of the period.
+* ``bursty`` -- EAPSS-style on/off source: ``burst_size`` jobs arrive at
+  exactly minimum separation ``P``, then an extra inter-burst gap of
+  ``U{1, max(1, floor(burst_gap * P))}`` ticks before the next burst.
+
+Presets (:data:`RELEASE_PRESETS`) follow the EAPSS naming: ``light``
+(mild sporadic jitter), ``bursty`` (clustered arrivals), ``heavy``
+(jitter up to half a period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..errors import ConfigurationError
+
+#: Recognized arrival processes.
+RELEASE_KINDS = ("periodic", "sporadic", "bursty")
+
+
+@dataclass(frozen=True)
+class ReleaseModel:
+    """One seeded arrival process for every task in a set.
+
+    Attributes:
+        kind: one of :data:`RELEASE_KINDS`.
+        jitter: sporadic only -- maximum extra inter-arrival delay as a
+            fraction of the period (the release-jitter bound).
+        burst_size: bursty only -- jobs per burst at minimum separation.
+        burst_gap: bursty only -- maximum extra inter-burst gap as a
+            fraction of the period.
+        seed: base seed; each task derives its own stream from it.
+    """
+
+    kind: str = "periodic"
+    jitter: float = 0.0
+    burst_size: int = 1
+    burst_gap: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in RELEASE_KINDS:
+            raise ConfigurationError(
+                f"unknown release-model kind {self.kind!r}; "
+                f"choose from {RELEASE_KINDS}"
+            )
+        if self.kind == "periodic":
+            if self.jitter or self.burst_gap or self.burst_size != 1:
+                raise ConfigurationError(
+                    "periodic release model takes no jitter/burst parameters"
+                )
+        elif self.kind == "sporadic":
+            if not 0.0 < self.jitter:
+                raise ConfigurationError(
+                    f"sporadic release model needs jitter > 0, got {self.jitter}"
+                )
+            if self.burst_gap or self.burst_size != 1:
+                raise ConfigurationError(
+                    "sporadic release model takes no burst parameters"
+                )
+        else:  # bursty
+            if self.burst_size < 2:
+                raise ConfigurationError(
+                    f"bursty release model needs burst_size >= 2, "
+                    f"got {self.burst_size}"
+                )
+            if not 0.0 < self.burst_gap:
+                raise ConfigurationError(
+                    f"bursty release model needs burst_gap > 0, "
+                    f"got {self.burst_gap}"
+                )
+            if self.jitter:
+                raise ConfigurationError(
+                    "bursty release model takes no jitter parameter"
+                )
+
+    def is_periodic(self) -> bool:
+        """Whether this model degenerates to the paper's periodic arrivals."""
+        return self.kind == "periodic"
+
+    def task_seed(self, task_index: int) -> int:
+        """The derived RNG seed for one task's arrival stream."""
+        return (self.seed << 20) ^ (task_index + 1)
+
+    def cache_key(self) -> Tuple[Any, ...]:
+        """Identity tuple for memoization keys (analysis cache, journals)."""
+        return (self.kind, self.jitter, self.burst_size, self.burst_gap, self.seed)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`); omits defaults."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.jitter:
+            payload["jitter"] = self.jitter
+        if self.burst_size != 1:
+            payload["burst_size"] = self.burst_size
+        if self.burst_gap:
+            payload["burst_gap"] = self.burst_gap
+        if self.seed:
+            payload["seed"] = self.seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReleaseModel":
+        """Build a model from a JSON document, strictly."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"release model must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {"kind", "jitter", "burst_size", "burst_gap", "seed"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown release-model key(s) {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        try:
+            return cls(
+                kind=str(payload.get("kind", "periodic")),
+                jitter=float(payload.get("jitter", 0.0)),
+                burst_size=int(payload.get("burst_size", 1)),
+                burst_gap=float(payload.get("burst_gap", 0.0)),
+                seed=int(payload.get("seed", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed release model: {exc}") from exc
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "ReleaseModel":
+        """One of the named presets, reseeded."""
+        try:
+            base = RELEASE_PRESETS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown release-model preset {name!r}; choose from "
+                f"{sorted(RELEASE_PRESETS)}"
+            ) from None
+        if base.kind == "periodic":
+            return base
+        return cls(
+            kind=base.kind,
+            jitter=base.jitter,
+            burst_size=base.burst_size,
+            burst_gap=base.burst_gap,
+            seed=seed,
+        )
+
+
+#: EAPSS-style named arrival scenarios, plus the paper's periodic model.
+RELEASE_PRESETS: Dict[str, ReleaseModel] = {
+    "periodic": ReleaseModel(),
+    "light": ReleaseModel(kind="sporadic", jitter=0.1),
+    "bursty": ReleaseModel(kind="bursty", burst_size=3, burst_gap=1.0),
+    "heavy": ReleaseModel(kind="sporadic", jitter=0.5),
+}
+
+
+def resolve_release_model(value) -> "ReleaseModel | None":
+    """Normalize a user-facing release-model value.
+
+    Accepts ``None``, a :class:`ReleaseModel`, a preset name, or a JSON
+    dict.  Periodic models normalize to ``None`` so every layer keyed on
+    the model (caches, fingerprints, journals) treats an explicit
+    periodic request exactly like the historical default.
+    """
+    if value is None:
+        return None
+    if isinstance(value, ReleaseModel):
+        model = value
+    elif isinstance(value, str):
+        model = ReleaseModel.preset(value)
+    elif isinstance(value, dict):
+        model = ReleaseModel.from_dict(value)
+    else:
+        raise ConfigurationError(
+            f"release model must be a ReleaseModel, preset name, or dict; "
+            f"got {value!r}"
+        )
+    return None if model.is_periodic() else model

@@ -201,6 +201,75 @@ class TestCommands:
         assert "[0.4,0.5)" in out
         assert "cycles folded:" in out
 
+    def test_sweep_release_model_flags(self, capsys):
+        base = [
+            "sweep",
+            "--bins",
+            "0.4:0.5",
+            "--sets-per-bin",
+            "2",
+            "--horizon",
+            "300",
+        ]
+        assert main(base) == 0
+        periodic = capsys.readouterr().out
+        sporadic_args = base + [
+            "--release-model",
+            "light",
+            "--release-seed",
+            "3",
+            "--initial-history",
+            "miss",
+            "--validate",
+            "1",
+        ]
+        assert main(sporadic_args) == 0
+        sporadic = capsys.readouterr().out
+        assert "[0.4,0.5)" in sporadic
+        assert "validation: " in sporadic
+        # The knobs are live: the energy table moves off the happy path.
+        assert sporadic.splitlines()[:4] != periodic.splitlines()[:4]
+
+    def test_sweep_explicit_periodic_flags_change_nothing(self, capsys):
+        base = [
+            "sweep",
+            "--bins",
+            "0.4:0.5",
+            "--sets-per-bin",
+            "2",
+            "--horizon",
+            "300",
+        ]
+        assert main(base) == 0
+        implicit = capsys.readouterr().out
+        assert main(
+            base + ["--release-model", "periodic", "--initial-history", "met"]
+        ) == 0
+        explicit = capsys.readouterr().out
+        mask = re.compile(r"sets in \d+(\.\d+)?s")
+        assert mask.sub("sets in Xs", explicit) == mask.sub(
+            "sets in Xs", implicit
+        )
+
+    def test_sweep_fold_off_periodic_reports_zero_folds(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--bins",
+                "0.4:0.5",
+                "--sets-per-bin",
+                "1",
+                "--horizon",
+                "300",
+                "--fold",
+                "--release-model",
+                "bursty",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles folded: 0" in out
+
     def test_sweep_no_trace_same_table(self, capsys):
         args = [
             "sweep",

@@ -84,8 +84,39 @@ class TestSweepSpec:
             {"bins": [[0.3, 0.4]]},
             {"schemes": ["MKSS_ST", "MKSS_DP"]},
             {"validate": 2},
+            {"release_model": "light"},
+            {"release_model": {"kind": "bursty", "burst_size": 3,
+                               "burst_gap": 1.0}},
+            {"initial_history": "miss"},
         ):
             assert SweepSpec.from_dict({**SMALL, **knob}).digest() != base.digest()
+
+    def test_explicit_periodic_defaults_keep_the_identity(self):
+        # Old clients never sent these keys; explicit defaults must hit
+        # the same cached results (and the same journal fingerprints).
+        base = SweepSpec.from_dict(SMALL)
+        explicit = SweepSpec.from_dict(
+            {**SMALL, "release_model": "periodic", "initial_history": "met"}
+        )
+        assert explicit.digest() == base.digest()
+        assert explicit.to_dict() == base.to_dict()
+        assert "release_model" not in base.to_dict()
+
+    def test_release_knobs_round_trip(self):
+        spec = SweepSpec.from_dict(
+            {**SMALL, "release_model": {"kind": "sporadic", "jitter": 0.1,
+                                        "seed": 4},
+             "initial_history": "rpattern"}
+        )
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.digest() == spec.digest()
+
+    def test_bad_release_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({**SMALL, "release_model": "storm"})
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({**SMALL, "initial_history": "reds"})
 
 
 class TestServiceConfig:

@@ -204,6 +204,8 @@ class TestCheckReport:
         knobs = {k.name: k for k in default_knobs(ExperimentProtocol())}
         assert all(not v.gated for v in knobs["admission"].variants)
         assert all(not v.gated for v in knobs["fault_seed"].variants)
+        assert all(not v.gated for v in knobs["release_model"].variants)
+        assert all(not v.gated for v in knobs["initial_history"].variants)
         for name in ("horizon", "sets_per_bin", "k_range", "tbe"):
             assert all(v.gated for v in knobs[name].variants), name
 
@@ -265,3 +267,18 @@ class TestConfiguration:
                 if variant.protocol is None:
                     continue
                 assert variant.protocol != base, (knob.name, variant.label)
+
+    def test_release_model_knob_covers_the_presets(self):
+        knobs = {k.name: k for k in default_knobs(ExperimentProtocol())}
+        variants = {v.label: v for v in knobs["release_model"].variants}
+        assert set(variants) == {"light", "bursty", "heavy"}
+        for label, variant in variants.items():
+            model = variant.protocol.release_model
+            assert model is not None and not model.is_periodic(), label
+
+    def test_initial_history_knob_covers_non_default_modes(self):
+        knobs = {k.name: k for k in default_knobs(ExperimentProtocol())}
+        variants = {v.label: v for v in knobs["initial_history"].variants}
+        assert set(variants) == {"miss", "rpattern"}
+        for label, variant in variants.items():
+            assert variant.protocol.initial_history == label

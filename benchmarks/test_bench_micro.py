@@ -129,6 +129,33 @@ def test_engine_folded_self_disable_sporadic(benchmark):
     assert result.cycles_folded == 0
 
 
+def test_engine_dvfs_speed_scaled(benchmark):
+    """Stats-only 2000ms run with a DVFS speed plan on the mains.
+
+    Same workload and mode as ``test_engine_stats_only_long_horizon``;
+    the delta is the per-segment speed bookkeeping (stretched budgets,
+    the speed_busy ledger) the frequency dimension adds to the hot loop.
+    """
+    from repro.energy.dvfs import DVFSConfig, speed_plan_for
+
+    taskset = _workload()
+    base = taskset.timebase()
+    horizon = 2000 * base.ticks_per_unit
+    plan = speed_plan_for(taskset, base, DVFSConfig())
+    assert plan is not None
+
+    def run():
+        return run_policy(
+            taskset, MKSSSelective(), horizon, base,
+            collect_trace=False, speed_plan=plan,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["released_jobs"] = result.released_jobs
+    assert result.speed_plan is plan
+    assert result.all_mk_satisfied()
+
+
 def test_sporadic_release_timeline(benchmark):
     """Building the seeded sporadic release sequence for 2000ms -- the
     per-(task set, model) cost the shared-timeline memo amortizes."""

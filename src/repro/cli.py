@@ -33,6 +33,7 @@ from .analysis.promotion import promotion_times
 from .analysis.rta import response_times_mandatory
 from .analysis.schedulability import is_rpattern_schedulable
 from .energy.accounting import energy_of_result
+from .energy.dvfs import DVFSConfig
 from .energy.power import PowerModel
 from .errors import ReproError
 from .harness.figures import DEFAULT_BINS, fig6a, fig6b, fig6c
@@ -104,6 +105,39 @@ def _release_model_from_args(args) -> Optional[ReleaseModel]:
     return ReleaseModel.preset(args.release_model, seed=args.release_seed)
 
 
+def _add_dvfs_args(parser) -> None:
+    """Register the deadline-safe frequency-scaling knobs."""
+    parser.add_argument(
+        "--dvfs",
+        action="store_true",
+        help="slow each scheme's main copies by the largest uniform "
+        "factor that passes the R-pattern critical-scaling check, "
+        "clamped at the power model's critical speed; backups and "
+        "post-fault work run at full speed (max-performance fallback)",
+    )
+    parser.add_argument(
+        "--dvs-alpha",
+        type=float,
+        default=DVFSConfig().alpha,
+        help="dynamic power exponent of the DVS model (power = "
+        "s**alpha at speed s; ignored without --dvfs)",
+    )
+    parser.add_argument(
+        "--dvs-static",
+        type=float,
+        default=DVFSConfig().static_power,
+        help="static/leakage power of the DVS model, paid whenever the "
+        "processor is on (ignored without --dvfs)",
+    )
+
+
+def _dvfs_from_args(args) -> Optional[DVFSConfig]:
+    """The DVFSConfig the flags describe (None = no frequency scaling)."""
+    if not args.dvfs:
+        return None
+    return DVFSConfig(alpha=args.dvs_alpha, static_power=args.dvs_static)
+
+
 def _resolve_taskset(args) -> TaskSet:
     if args.preset:
         presets = motivation_tasksets()
@@ -168,6 +202,16 @@ def cmd_simulate(args) -> int:
         horizon = args.horizon * base.ticks_per_unit
     else:
         horizon = analysis_horizon(taskset, base, 2000)
+    dvfs = _dvfs_from_args(args)
+    speed_plan = None
+    if dvfs is not None and dvfs.applies_to(args.scheme):
+        from .energy.dvfs import resolve_dvfs, speed_plan_for
+
+        dvfs = resolve_dvfs(dvfs)
+        if dvfs is not None:
+            speed_plan = speed_plan_for(
+                taskset, base, dvfs, horizon_cap_units=args.horizon or 2000
+            )
     result = run_policy(
         taskset,
         SCHEME_FACTORIES[args.scheme](),
@@ -177,6 +221,7 @@ def cmd_simulate(args) -> int:
         fold=args.fold,
         release_model=_release_model_from_args(args),
         initial_history=args.initial_history,
+        speed_plan=speed_plan,
     )
     if args.gantt and collect_trace:
         cell = 1 if base.ticks_per_unit == 1 else f"1/{base.ticks_per_unit}"
@@ -275,6 +320,7 @@ def cmd_sweep(args) -> int:
         generation_store=args.gen_cache or None,
         release_model=_release_model_from_args(args),
         initial_history=args.initial_history,
+        dvfs=_dvfs_from_args(args),
     )
     print(format_series_table(sweep, f"sweep ({args.faults} faults)"))
     generation = next(
@@ -359,6 +405,9 @@ def cmd_triage(args) -> int:
         overrides["release_model"] = release_model
     if args.initial_history != "met":
         overrides["initial_history"] = args.initial_history
+    dvfs = _dvfs_from_args(args)
+    if dvfs is not None:
+        overrides["dvfs"] = dvfs
     if overrides:
         protocol = protocol.replace(**overrides)
     panels = tuple(
@@ -441,6 +490,7 @@ def cmd_validate(args) -> int:
             modes=modes,
             release_model=_release_model_from_args(args),
             initial_history=args.initial_history,
+            dvfs=_dvfs_from_args(args),
         )
         verdicts = "  ".join(
             f"{audit.mode}: {'ok' if audit.ok else f'{len(audit.issues)} issue(s)'}"
@@ -530,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace; exact for fault-free and permanent-fault runs)",
     )
     _add_release_args(simulate)
+    _add_dvfs_args(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     # Quick sweeps default to the documented smoke scale; `triage`
@@ -634,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
         "either way",
     )
     _add_release_args(sweep)
+    _add_dvfs_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     triage = sub.add_parser(
@@ -732,6 +784,7 @@ def build_parser() -> argparse.ArgumentParser:
         "any run shows (m,k) violations / cross-mode divergence",
     )
     _add_release_args(triage)
+    _add_dvfs_args(triage)
     triage.set_defaults(func=cmd_triage)
 
     validate = sub.add_parser(
@@ -762,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=20200309, help="fault scenario seed"
     )
     _add_release_args(validate)
+    _add_dvfs_args(validate)
     validate.set_defaults(func=cmd_validate)
 
     serve = sub.add_parser(

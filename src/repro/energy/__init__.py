@@ -14,6 +14,13 @@ from .dvs_scheduling import (
     max_uniform_slowdown,
     slowed_taskset,
 )
+from .dvfs import (
+    DVFS_SCHEMES,
+    DVFSConfig,
+    SpeedPlan,
+    resolve_dvfs,
+    speed_plan_for,
+)
 
 __all__ = [
     "PowerModel",
@@ -28,4 +35,9 @@ __all__ = [
     "dvs_energy_of",
     "max_uniform_slowdown",
     "slowed_taskset",
+    "DVFS_SCHEMES",
+    "DVFSConfig",
+    "SpeedPlan",
+    "resolve_dvfs",
+    "speed_plan_for",
 ]

@@ -3,7 +3,10 @@
 Converts a :class:`~repro.sim.trace.ExecutionTrace` into an
 :class:`EnergyReport` under a :class:`~repro.energy.power.PowerModel`:
 
-* every busy tick costs ``active_power``;
+* every busy tick costs ``active_power`` -- or, on a DVFS run (the
+  result carries a :class:`~repro.energy.dvfs.SpeedPlan`), a tick
+  executed at speed ``s`` costs ``s**alpha + static_power`` under the
+  plan's DVS model;
 * idle gaps are classified by the DPD rule -- gaps longer than the
   break-even time sleep (``sleep_power`` + one ``transition_energy``),
   shorter gaps idle at ``idle_power``;
@@ -24,12 +27,18 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..sim.trace import ExecutionTrace
 from ..timebase import TimeBase, TimeLike
 from .dpd import shutdown_decision
+from .dvs import DVSModel
 from .power import PowerModel
 
 
 @dataclass(frozen=True)
 class ProcessorEnergy:
-    """Energy breakdown for one processor."""
+    """Energy breakdown for one processor.
+
+    ``speed_units`` is the DVFS-scaled part of ``busy_units``: a sorted
+    ``((speed, units), ...)`` tuple covering every speed != 1 (empty on
+    every non-DVFS run, keeping pre-DVFS reports identical).
+    """
 
     busy_units: Fraction
     idle_units: Fraction
@@ -38,6 +47,7 @@ class ProcessorEnergy:
     idle_energy: float
     sleep_energy: float
     transition_count: int
+    speed_units: Tuple[Tuple[object, Fraction], ...] = ()
 
     @property
     def total(self) -> float:
@@ -46,10 +56,16 @@ class ProcessorEnergy:
 
 @dataclass(frozen=True)
 class EnergyReport:
-    """Energy of one simulation run over [0, horizon)."""
+    """Energy of one simulation run over [0, horizon).
+
+    ``dvs`` is the DVS power model charging executed units on a DVFS
+    run (``s**alpha + static`` per unit at speed ``s``); None (every
+    non-DVFS run) charges the flat ``model.active_power``.
+    """
 
     per_processor: Dict[int, ProcessorEnergy]
     model: PowerModel
+    dvs: Optional[DVSModel] = None
 
     @property
     def active_units(self) -> Fraction:
@@ -75,12 +91,62 @@ class EnergyReport:
         return self.total_energy / reference_total
 
 
+def active_energy_of(
+    busy_units: Fraction,
+    speed_units: Tuple[Tuple[object, Fraction], ...],
+    power: PowerModel,
+    dvs: Optional[DVSModel],
+) -> float:
+    """Active energy of ``busy_units`` of execution, speed-aware.
+
+    Without a DVS model every unit costs the flat ``active_power``
+    (bit-identical to the pre-DVFS accounting).  With one, a unit
+    executed at speed ``s`` costs ``s**alpha + static_power`` --
+    including the full-speed units, whose power is ``1 + static`` (the
+    leakage floor is paid whenever the processor computes; this is
+    deliberately *conservative against DVS*, since the flat model's
+    P_act = 1 omits it).  The summation order is fixed (full-speed term
+    first, then speeds ascending) so an independent re-derivation over
+    the same decomposition reproduces the float exactly.
+    """
+    if dvs is None:
+        return float(busy_units) * power.active_power
+    scaled = sum((units for _, units in speed_units), Fraction(0))
+    energy = float(busy_units - scaled) * (1.0 + dvs.static_power)
+    for speed, units in speed_units:
+        energy += float(units) * (float(speed) ** dvs.alpha + dvs.static_power)
+    return energy
+
+
+def _trace_speed_units(
+    trace: ExecutionTrace,
+    timebase: TimeBase,
+    processor: int,
+    window: Tuple[int, int],
+) -> Tuple[Tuple[object, Fraction], ...]:
+    """Sorted (speed, units) of a processor's scaled segments in window."""
+    ticks_by_speed: Dict[object, int] = {}
+    for segment in trace.segments:
+        if segment.processor != processor or segment.speed == 1:
+            continue
+        overlap = segment.overlap_with(*window)
+        if overlap > 0:
+            ticks_by_speed[segment.speed] = (
+                ticks_by_speed.get(segment.speed, 0) + overlap
+            )
+    return tuple(
+        (speed, timebase.from_ticks(ticks_by_speed[speed]))
+        for speed in sorted(ticks_by_speed)
+    )
+
+
 def energy_of(
     trace: ExecutionTrace,
     timebase: TimeBase,
     horizon_ticks: int,
     model: Optional[PowerModel] = None,
     permanent_fault: Optional[Tuple[int, int]] = None,
+    dvs_model: Optional[DVSModel] = None,
 ) -> EnergyReport:
     """Account a trace's energy over [0, horizon) under a power model.
 
@@ -91,6 +157,9 @@ def energy_of(
         model: power model; defaults to the paper's evaluation setting.
         permanent_fault: optional (processor, tick) after which that
             processor consumes no energy.
+        dvs_model: DVS power model of a DVFS run; each executed unit is
+            then charged ``s**alpha + static`` at its segment's speed
+            instead of the flat ``active_power``.
     """
     power = model or PowerModel.paper_default()
     per_processor: Dict[int, ProcessorEnergy] = {}
@@ -101,6 +170,11 @@ def energy_of(
         window = (0, window_end)
         busy_ticks = trace.busy_ticks(processor, window)
         busy_units = timebase.from_ticks(busy_ticks)
+        speed_units: Tuple[Tuple[object, Fraction], ...] = ()
+        if dvs_model is not None:
+            speed_units = _trace_speed_units(
+                trace, timebase, processor, window
+            )
         idle_units = Fraction(0)
         sleep_units = Fraction(0)
         transitions = 0
@@ -115,13 +189,18 @@ def energy_of(
             busy_units=busy_units,
             idle_units=idle_units,
             sleep_units=sleep_units,
-            active_energy=float(busy_units) * power.active_power,
+            active_energy=active_energy_of(
+                busy_units, speed_units, power, dvs_model
+            ),
             idle_energy=float(idle_units) * power.idle_power,
             sleep_energy=float(sleep_units) * power.sleep_power
             + transitions * power.transition_energy,
             transition_count=transitions,
+            speed_units=speed_units,
         )
-    return EnergyReport(per_processor=per_processor, model=power)
+    return EnergyReport(
+        per_processor=per_processor, model=power, dvs=dvs_model
+    )
 
 
 def energy_from_counts(
@@ -129,6 +208,8 @@ def energy_from_counts(
     gap_counts: "Sequence[Dict[int, int]]",
     timebase: TimeBase,
     model: Optional[PowerModel] = None,
+    speed_busy: "Optional[Sequence[dict]]" = None,
+    dvs_model: Optional[DVSModel] = None,
 ) -> EnergyReport:
     """Account energy from a stats-only run's aggregate counters.
 
@@ -140,7 +221,10 @@ def energy_from_counts(
     gap's *length*, so the multiset carries everything :func:`energy_of`
     extracts from a trace; per-length arithmetic over exact Fractions is
     associative and order-independent, making the result bit-identical
-    to the trace-based account of the same run.
+    to the trace-based account of the same run.  On a DVFS run,
+    ``speed_busy[p]`` (speed -> ticks, the engine's
+    :attr:`~repro.sim.folding.RunStats.speed_busy` ledger) carries the
+    scaled part of the busy time the same way.
     """
     power = model or PowerModel.paper_default()
     per_processor: Dict[int, ProcessorEnergy] = {}
@@ -148,6 +232,13 @@ def energy_from_counts(
         zip(busy_by_processor, gap_counts)
     ):
         busy_units = timebase.from_ticks(busy_ticks)
+        speed_units: Tuple[Tuple[object, Fraction], ...] = ()
+        if dvs_model is not None and speed_busy is not None:
+            by_speed = speed_busy[processor]
+            speed_units = tuple(
+                (speed, timebase.from_ticks(by_speed[speed]))
+                for speed in sorted(by_speed)
+            )
         idle_units = Fraction(0)
         sleep_units = Fraction(0)
         transitions = 0
@@ -163,13 +254,18 @@ def energy_from_counts(
             busy_units=busy_units,
             idle_units=idle_units,
             sleep_units=sleep_units,
-            active_energy=float(busy_units) * power.active_power,
+            active_energy=active_energy_of(
+                busy_units, speed_units, power, dvs_model
+            ),
             idle_energy=float(idle_units) * power.idle_power,
             sleep_energy=float(sleep_units) * power.sleep_power
             + transitions * power.transition_energy,
             transition_count=transitions,
+            speed_units=speed_units,
         )
-    return EnergyReport(per_processor=per_processor, model=power)
+    return EnergyReport(
+        per_processor=per_processor, model=power, dvs=dvs_model
+    )
 
 
 def energy_of_result(
@@ -205,6 +301,8 @@ def energy_of_result(
                 f"accounting window [0, {window_units}) exceeds the "
                 f"simulated horizon of {result.horizon_ticks} ticks"
             )
+    plan = getattr(result, "speed_plan", None)
+    dvs_model = plan.model if plan is not None else None
     if result.trace is not None:
         return energy_of(
             result.trace,
@@ -212,6 +310,7 @@ def energy_of_result(
             window_ticks,
             model=model,
             permanent_fault=result.permanent_fault,
+            dvs_model=dvs_model,
         )
     if result.stats is None:  # pragma: no cover - engine fills one of the two
         raise ValueError("result has neither trace nor stats")
@@ -225,4 +324,6 @@ def energy_of_result(
         result.stats.gap_counts,
         result.timebase,
         model=model,
+        speed_busy=result.stats.speed_busy,
+        dvs_model=dvs_model,
     )

@@ -1,0 +1,254 @@
+"""Deadline-safe uniform DVFS as a first-class scheduling dimension.
+
+This module turns the DVS stubs (:mod:`repro.energy.dvs`,
+:mod:`repro.energy.dvs_scheduling`) into something the engine can
+execute: a :class:`DVFSConfig` describes the power model and which
+schemes it applies to; :func:`speed_plan_for` compiles it against one
+task set into a :class:`SpeedPlan` -- the per-task main-copy speeds the
+engine dispatches at and the conformance auditor re-checks.
+
+The plan is *deadline-safe by construction*:
+
+* the uniform slowdown factor ``f`` comes from the exact R-pattern
+  critical-scaling search (:func:`~repro.energy.dvs_scheduling.
+  max_uniform_slowdown`), clamped at the correctly-rounded critical
+  speed (:func:`~repro.energy.dvs_scheduling.clamp_to_critical_speed`)
+  so DVS never slows past the energy-optimal point;
+* each main copy's WCET is stretched to ``floor(wcet_ticks * f)`` --
+  flooring keeps the integer-tick demand at or below the exact-Fraction
+  scaling the schedulability oracle validated, and makes every effective
+  speed ``wcet / stretched`` at least the checked speed ``1 / f``;
+* backups, optionals, and everything released after a permanent fault
+  run at full speed (max-performance fallback): the surviving processor
+  carries the whole mandatory load alone and has no slack to spend.
+
+Configs whose critical speed is 1 (leakage so dominant that any
+slowdown loses) resolve to ``None`` everywhere -- the same
+normalization release models use for ``periodic`` -- so a speed-1.0
+DVFS request produces byte-identical journals, fingerprints, and
+results to a run without the knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..model.taskset import TaskSet
+from ..timebase import TimeBase
+from .dvs import DVSModel
+from .dvs_scheduling import clamp_to_critical_speed, max_uniform_slowdown
+
+#: Schemes the DVFS layer slows down by default: the paper's three
+#: standby-sparing approaches (their mains share the R-pattern
+#: schedulability analysis the slowdown search is built on).
+DVFS_SCHEMES = ("MKSS_ST", "MKSS_DP", "MKSS_Selective")
+
+#: Defaults shared with :class:`~repro.energy.dvs.DVSModel`.
+_DEFAULTS = DVSModel()
+
+
+@dataclass(frozen=True)
+class DVFSConfig:
+    """One DVFS policy: a power model plus the schemes it applies to.
+
+    Attributes:
+        alpha: dynamic power exponent (power = s**alpha at speed s).
+        static_power: leakage floor, paid whenever the processor is on.
+        min_speed: lowest selectable speed.
+        precision_denominator: the critical-scaling binary search stops
+            at intervals of ``1 / precision_denominator``.
+        schemes: scheme names the slowdown applies to; other schemes in
+            the same sweep run at full speed with flat accounting.
+    """
+
+    alpha: float = _DEFAULTS.alpha
+    static_power: float = _DEFAULTS.static_power
+    min_speed: float = _DEFAULTS.min_speed
+    precision_denominator: int = 64
+    schemes: Tuple[str, ...] = DVFS_SCHEMES
+
+    def __post_init__(self) -> None:
+        self.model()  # DVSModel validates alpha/static_power/min_speed
+        if self.precision_denominator < 1:
+            raise ConfigurationError(
+                f"precision_denominator must be >= 1, got "
+                f"{self.precision_denominator}"
+            )
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        if not self.schemes:
+            raise ConfigurationError("DVFS config needs at least one scheme")
+
+    def model(self) -> DVSModel:
+        """The DVS power model this config describes."""
+        return DVSModel(
+            alpha=self.alpha,
+            static_power=self.static_power,
+            min_speed=self.min_speed,
+        )
+
+    def precision(self) -> Fraction:
+        """Binary-search precision for the slowdown factor."""
+        return Fraction(1, self.precision_denominator)
+
+    def applies_to(self, scheme: str) -> bool:
+        """Whether this config slows the named scheme's mains."""
+        return scheme in self.schemes
+
+    def cache_key(self) -> Tuple[Any, ...]:
+        """Identity tuple for memoization keys (plans, fingerprints)."""
+        return (
+            self.alpha,
+            self.static_power,
+            self.min_speed,
+            self.precision_denominator,
+            self.schemes,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`); omits defaults."""
+        payload: Dict[str, Any] = {}
+        if self.alpha != _DEFAULTS.alpha:
+            payload["alpha"] = self.alpha
+        if self.static_power != _DEFAULTS.static_power:
+            payload["static_power"] = self.static_power
+        if self.min_speed != _DEFAULTS.min_speed:
+            payload["min_speed"] = self.min_speed
+        if self.precision_denominator != 64:
+            payload["precision_denominator"] = self.precision_denominator
+        if self.schemes != DVFS_SCHEMES:
+            payload["schemes"] = list(self.schemes)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DVFSConfig":
+        """Build a config from a JSON document, strictly."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"DVFS config must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {
+            "alpha", "static_power", "min_speed",
+            "precision_denominator", "schemes",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown DVFS config key(s) {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        try:
+            return cls(
+                alpha=float(payload.get("alpha", _DEFAULTS.alpha)),
+                static_power=float(
+                    payload.get("static_power", _DEFAULTS.static_power)
+                ),
+                min_speed=float(
+                    payload.get("min_speed", _DEFAULTS.min_speed)
+                ),
+                precision_denominator=int(
+                    payload.get("precision_denominator", 64)
+                ),
+                schemes=tuple(
+                    str(s) for s in payload.get("schemes", DVFS_SCHEMES)
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed DVFS config: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SpeedPlan:
+    """The compiled per-task speeds for one (task set, DVFS config) pair.
+
+    Attributes:
+        speeds: per-task effective main-copy speed ``wcet / stretched``
+            (exact Fractions; the int 1 for tasks flooring left
+            unstretched, keeping speed-1 values identical to the
+            non-DVFS default).
+        stretched_wcets: per-task main-copy WCET in ticks, stretched by
+            the uniform slowdown (``>=`` the unstretched WCET).
+        checked_speed: the speed ``1 / f`` the schedulability oracle
+            validated; every entry of ``speeds`` is at least this (the
+            conformance auditor's per-segment frequency rule).
+        model: the DVS power model charging the scaled segments.
+    """
+
+    speeds: Tuple["Fraction | int", ...]
+    stretched_wcets: Tuple[int, ...]
+    checked_speed: Fraction
+    model: DVSModel
+
+
+def resolve_dvfs(value: Any) -> Optional[DVFSConfig]:
+    """Normalize a user-facing DVFS value.
+
+    Accepts ``None``, a :class:`DVFSConfig`, or a JSON dict.  Configs
+    whose critical speed is 1 normalize to ``None``: the clamp would
+    force speed 1 for every task set, so every layer keyed on the knob
+    (caches, fingerprints, journals) treats such a request exactly like
+    the historical no-DVFS default.
+    """
+    if value is None:
+        return None
+    if isinstance(value, DVFSConfig):
+        config = value
+    elif isinstance(value, dict):
+        config = DVFSConfig.from_dict(value)
+    else:
+        raise ConfigurationError(
+            f"DVFS config must be a DVFSConfig or dict; got {value!r}"
+        )
+    if config.model().critical_speed() >= 1.0:
+        return None
+    return config
+
+
+def speed_plan_for(
+    taskset: TaskSet,
+    timebase: TimeBase,
+    config: DVFSConfig,
+    horizon_cap_units: int = 2000,
+) -> Optional[SpeedPlan]:
+    """Compile a config against one task set, or None when no slack.
+
+    Returns ``None`` when the clamped slowdown is 1 (the set is too
+    loaded, or flooring undoes the whole stretch) -- the run is then
+    byte-identical to a non-DVFS run and skips the DVFS machinery
+    entirely.
+    """
+    model = config.model()
+    slowdown = clamp_to_critical_speed(
+        max_uniform_slowdown(
+            taskset,
+            precision=config.precision(),
+            horizon_cap_units=horizon_cap_units,
+        ),
+        model,
+    )
+    if slowdown <= 1:
+        return None
+    speeds: list = []
+    stretched: list = []
+    scaled_any = False
+    for task in taskset:
+        wcet = timebase.to_ticks(task.wcet)
+        ticks = int(wcet * slowdown)  # floor: demand <= the checked scaling
+        if ticks <= wcet:
+            speeds.append(1)
+            stretched.append(wcet)
+        else:
+            speeds.append(Fraction(wcet, ticks))
+            stretched.append(ticks)
+            scaled_any = True
+    if not scaled_any:
+        return None
+    return SpeedPlan(
+        speeds=tuple(speeds),
+        stretched_wcets=tuple(stretched),
+        checked_speed=Fraction(1) / slowdown,
+        model=model,
+    )

@@ -62,8 +62,12 @@ class DVSModel:
 
         Solves d/ds [(s**alpha + P_s)/s] = 0, giving
         s* = (P_s / (alpha - 1)) ** (1/alpha), clamped to
-        [min_speed, 1].
+        [min_speed, 1].  Zero leakage clamps to ``min_speed`` exactly
+        (the unclamped optimum degenerates to 0: with no static power,
+        slower is always better until the platform floor).
         """
+        if self.static_power == 0:
+            return self.min_speed
         unclamped = (self.static_power / (self.alpha - 1)) ** (1.0 / self.alpha)
         return min(1.0, max(self.min_speed, unclamped))
 

@@ -20,6 +20,7 @@ the paper's stated reason for dropping DVS.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Dict, Optional, Sequence
 
@@ -59,9 +60,20 @@ def slowed_taskset(taskset: TaskSet, slowdown: Fraction) -> TaskSet:
 def clamp_to_critical_speed(
     slowdown: Fraction, model: DVSModel
 ) -> Fraction:
-    """Never slow below the energy-optimal critical speed."""
-    critical = model.critical_speed()
-    max_sensible = Fraction(1) / Fraction(critical).limit_denominator(1024)
+    """Never slow below the energy-optimal critical speed.
+
+    The float critical speed is rationalized from the *safe* side: the
+    bound is rounded up to the next 1/1024 grid point, so the permitted
+    slowdown ``1 / bound`` never dips below the true critical speed.
+    (``Fraction(critical).limit_denominator(1024)`` rounds to nearest,
+    which can round *down* and permit a slowdown strictly past the
+    energy-optimal point.)
+    """
+    critical = Fraction(model.critical_speed())
+    bound = Fraction(math.ceil(critical * 1024), 1024)
+    if bound > 1:
+        bound = Fraction(1)
+    max_sensible = Fraction(1) / bound
     return min(slowdown, max_sensible)
 
 
@@ -79,19 +91,21 @@ def dvs_energy_of(
         trace: the execution trace (segment lengths are *scaled* time).
         timebase: tick grid.
         horizon_ticks: accounting window end.
-        speeds: per-task speed (index = task priority), each in (0, 1].
+        speeds: per-task speed (index = task priority), each in
+            ``[model.min_speed, 1]`` (rejected otherwise, like
+            :meth:`~repro.energy.dvs.DVSModel.power_at`).
         model: DVS power model (defaults to :class:`DVSModel` defaults).
         idle_static_power: power drawn while idle-but-on (DPD handles the
             rest; kept simple here because the comparison bench only needs
             active energy).
     """
     power_model = model or DVSModel()
-    for speed in speeds:
-        if not 0 < speed <= 1:
-            raise ConfigurationError(f"speed {speed} outside (0, 1]")
+    # power_at rejects speeds outside [min_speed, 1]: a speed below the
+    # platform floor would bill stretched segments at min-speed power,
+    # undercounting the energy the stretch actually costs.
     energy = 0.0
     per_task_power: Dict[int, float] = {
-        index: power_model.power_at(max(speed, power_model.min_speed))
+        index: power_model.power_at(speed)
         for index, speed in enumerate(speeds)
     }
     for segment in trace.segments:

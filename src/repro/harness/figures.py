@@ -130,6 +130,7 @@ def _run_panel(
     generation_store=None,
     release_model=None,
     initial_history: Optional[str] = None,
+    dvfs=None,
 ) -> SweepResult:
     proto = protocol or ExperimentProtocol.documented()
     if power_model is None and not proto.uses_default_power_model():
@@ -138,6 +139,8 @@ def _run_panel(
         release_model = proto.release_model
     if initial_history is None:
         initial_history = proto.initial_history
+    if dvfs is None:
+        dvfs = proto.dvfs
     return utilization_sweep(
         bins=list(proto.bins) if bins is None else bins,
         schemes=schemes,
@@ -169,6 +172,7 @@ def _run_panel(
         generation_store=generation_store,
         release_model=release_model,
         initial_history=initial_history,
+        dvfs=dvfs,
     )
 
 

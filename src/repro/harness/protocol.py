@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Dict, Optional, Tuple
 
+from ..energy.dvfs import DVFSConfig, resolve_dvfs
 from ..energy.power import PowerModel
 from ..errors import ConfigurationError
 from ..model.history import INITIAL_HISTORY_MODES
@@ -85,6 +86,12 @@ class ExperimentProtocol:
         initial_history: (m,k)-history boundary condition, one of
             :data:`repro.model.history.INITIAL_HISTORY_MODES` (the paper
             assumes ``"met"``: every pre-horizon job met its deadline).
+        dvfs: deadline-safe frequency scaling
+            (:class:`~repro.energy.dvfs.DVFSConfig`); None keeps the
+            paper's fixed-frequency processors ("without applying DVS").
+            A config whose critical speed is 1 normalizes to None, so
+            fingerprints/journals of a no-op request match the
+            historical default.
     """
 
     sets_per_bin: int = 15
@@ -97,6 +104,7 @@ class ExperimentProtocol:
     transient_seed_base: int = 2_000_000
     release_model: Optional[ReleaseModel] = None
     initial_history: str = "met"
+    dvfs: Optional[DVFSConfig] = None
 
     def __post_init__(self) -> None:
         if self.sets_per_bin < 1:
@@ -123,6 +131,7 @@ class ExperimentProtocol:
                 f"initial_history must be one of {INITIAL_HISTORY_MODES}, "
                 f"got {self.initial_history!r}"
             )
+        object.__setattr__(self, "dvfs", resolve_dvfs(self.dvfs))
 
     @classmethod
     def documented(cls, **overrides: Any) -> "ExperimentProtocol":
@@ -193,6 +202,8 @@ class ExperimentProtocol:
             payload["release_model"] = self.release_model.as_dict()
         if self.initial_history != "met":
             payload["initial_history"] = self.initial_history
+        if self.dvfs is not None:
+            payload["dvfs"] = self.dvfs.as_dict()
         return payload
 
 

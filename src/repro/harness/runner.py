@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 from ..analysis.cache import analysis_cache
 from ..analysis.hyperperiod import analysis_horizon
 from ..energy.accounting import EnergyReport, energy_of_result
+from ..energy.dvfs import resolve_dvfs, speed_plan_for
 from ..energy.power import PowerModel
 from ..errors import UnknownSchemeError
 from ..faults.scenario import FaultScenario
@@ -75,6 +76,7 @@ def run_scheme(
     fold: bool = False,
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> RunOutcome:
     """Simulate one scheme and account its energy and QoS.
 
@@ -96,6 +98,12 @@ def run_scheme(
             the paper's periodic releases.
         initial_history: (m,k)-history boundary condition, one of
             :data:`repro.model.history.INITIAL_HISTORY_MODES`.
+        dvfs: deadline-safe frequency scaling
+            (:class:`~repro.energy.dvfs.DVFSConfig` or its dict form);
+            None -- or a config whose critical speed is 1 -- runs at
+            full speed.  Only applies to the schemes the config names
+            (the standby-sparing trio by default); other schemes run
+            unscaled.
     """
     try:
         factory = SCHEME_FACTORIES[scheme]
@@ -109,6 +117,21 @@ def run_scheme(
         lambda: analysis_horizon(taskset, base, horizon_cap_units),
     )
     timeline = shared_release_timeline(taskset, horizon, base, release_model)
+    dvfs = resolve_dvfs(dvfs)
+    speed_plan = None
+    if dvfs is not None and dvfs.applies_to(scheme):
+        speed_plan = analysis_cache().get(
+            (
+                "dvfs-plan",
+                taskset.fingerprint(),
+                base.ticks_per_unit,
+                horizon_cap_units,
+                dvfs.cache_key(),
+            ),
+            lambda: speed_plan_for(
+                taskset, base, dvfs, horizon_cap_units=horizon_cap_units
+            ),
+        )
     result = run_policy(
         taskset,
         factory(),
@@ -120,6 +143,7 @@ def run_scheme(
         fold=fold,
         release_timeline=timeline,
         initial_history=initial_history,
+        speed_plan=speed_plan,
     )
     energy = energy_of_result(result, power_model or PowerModel.paper_default())
     return RunOutcome(

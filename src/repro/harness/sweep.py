@@ -56,6 +56,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..energy.dvfs import resolve_dvfs
 from ..energy.power import PowerModel
 from ..errors import ConfigurationError, UnknownSchemeError
 from ..faults.scenario import FaultScenario
@@ -266,7 +267,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
 
     ``job`` is a descriptor tuple (every kind's tail is ``scheme,
     scenario, horizon_cap_units, collect_trace, fold, power_model,
-    release_model, initial_history``):
+    release_model, initial_history, dvfs``):
 
     * ``("set", taskset, scheme, scenario, horizon_cap_units,
       collect_trace, fold, power_model, release_model,
@@ -304,7 +305,8 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
         power_model,
         release_model,
         initial_history,
-    ) = job[-8:]
+        dvfs,
+    ) = job[-9:]
     if kind == "set":
         taskset = job[1]
     elif kind == "gen":
@@ -353,6 +355,7 @@ def _run_one(job: tuple) -> Tuple[float, int, int]:
         fold=fold,
         release_model=release_model,
         initial_history=initial_history,
+        dvfs=dvfs,
     )
     return (
         outcome.total_energy,
@@ -403,6 +406,7 @@ def _execute_batch_jobs(
     power_model: Optional[PowerModel],
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> List[Tuple[str, Any]]:
     """The ``backend="batch"`` execution path of the sweep.
 
@@ -444,6 +448,7 @@ def _execute_batch_jobs(
             power_model=power_model,
             release_model=release_model,
             initial_history=initial_history,
+            dvfs=dvfs,
         )
         if item is None:
             scalar.append(index)
@@ -898,6 +903,9 @@ class ExecutionRequest:
             paper's periodic releases); non-periodic models make jobs
             non-batchable, like transient faults do.
         initial_history: (m,k)-history boundary condition per job.
+        dvfs: resolved :class:`~repro.energy.dvfs.DVFSConfig` shared by
+            every job (None = fixed frequency); jobs of schemes it
+            applies to are non-batchable and run on the scalar engine.
     """
 
     jobs: Sequence[Any]
@@ -912,6 +920,7 @@ class ExecutionRequest:
     power_model: Optional[PowerModel]
     release_model: Any = None
     initial_history: str = "met"
+    dvfs: Any = None
 
 
 class ExecutionDriver:
@@ -995,6 +1004,7 @@ class BatchDriver(ExecutionDriver):
             power_model=request.power_model,
             release_model=request.release_model,
             initial_history=request.initial_history,
+            dvfs=request.dvfs,
         )
 
 
@@ -1136,6 +1146,7 @@ def _sweep_fingerprint(
     power_model: Optional[PowerModel] = None,
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> Dict[str, Any]:
     """JSON-able identity of a sweep, for journal header validation.
 
@@ -1147,10 +1158,10 @@ def _sweep_fingerprint(
     (it changes every energy payload); the default (None) is omitted so
     journals recorded before the knob existed still resume.  The same
     conditional-inclusion rule covers ``release_model`` (None = the
-    paper's periodic arrivals) and ``initial_history`` (``"met"`` = the
-    paper's boundary condition): non-defaults change every payload, so
-    they enter the identity; defaults stay absent for backward
-    journal compatibility.
+    paper's periodic arrivals), ``initial_history`` (``"met"`` = the
+    paper's boundary condition), and ``dvfs`` (None = fixed-frequency
+    processors): non-defaults change every payload, so they enter the
+    identity; defaults stay absent for backward journal compatibility.
     """
     if supplied_tasksets is None:
         workload: Any = "generated"
@@ -1178,6 +1189,8 @@ def _sweep_fingerprint(
         fingerprint["release_model"] = release_model.as_dict()
     if initial_history != "met":
         fingerprint["initial_history"] = initial_history
+    if dvfs is not None:
+        fingerprint["dvfs"] = dvfs.as_dict()
     return fingerprint
 
 
@@ -1208,6 +1221,7 @@ def utilization_sweep(
     generation_store: "Optional[GenerationStore | str]" = None,
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> SweepResult:
     """Run the paper's sweep protocol.
 
@@ -1296,6 +1310,15 @@ def utilization_sweep(
         initial_history: (m,k)-history boundary condition for every job,
             one of :data:`repro.model.history.INITIAL_HISTORY_MODES`;
             non-default modes enter the journal fingerprint.
+        dvfs: deadline-safe frequency scaling
+            (:class:`~repro.energy.dvfs.DVFSConfig` or its dict form)
+            applied in every job to the schemes the config names; None
+            -- or a config whose critical speed is 1 -- keeps the
+            paper's fixed-frequency runs (and the historical
+            fingerprint).  An effective config enters the journal
+            fingerprint and makes the affected schemes' jobs
+            non-batchable (the batch backend falls back to the scalar
+            engine per job, like transient faults).
     """
     if reference_scheme not in schemes:
         raise ConfigurationError(
@@ -1324,6 +1347,7 @@ def utilization_sweep(
         raise ConfigurationError(f"validate must be >= 0, got {validate}")
     release_model = resolve_release_model(release_model)
     initial_history = normalize_initial_history(initial_history)
+    dvfs = resolve_dvfs(dvfs)
     policy = ExecutionPolicy(
         job_timeout=job_timeout,
         max_retries=max_retries,
@@ -1345,6 +1369,7 @@ def utilization_sweep(
         power_model,
         release_model,
         initial_history,
+        dvfs,
     )
     gen_store: Optional[GenerationStore] = (
         GenerationStore(generation_store)
@@ -1454,7 +1479,8 @@ def utilization_sweep(
                             ("store", gen_store.root, gen_digest,
                              *generated_spec, key, index, scheme, scenario,
                              horizon_cap_units, collect_trace, fold,
-                             power_model, release_model, initial_history)
+                             power_model, release_model, initial_history,
+                             dvfs)
                         )
                     else:
                         bin_state = (
@@ -1466,13 +1492,13 @@ def utilization_sweep(
                             ("genbin", *generated_spec, key, bin_state, index,
                              scheme, scenario, horizon_cap_units,
                              collect_trace, fold, power_model, release_model,
-                             initial_history)
+                             initial_history, dvfs)
                         )
                 else:
                     jobs.append(
                         ("set", taskset, scheme, scenario, horizon_cap_units,
                          collect_trace, fold, power_model, release_model,
-                         initial_history)
+                         initial_history, dvfs)
                     )
 
     log.emit(
@@ -1507,6 +1533,7 @@ def utilization_sweep(
                 power_model=power_model,
                 release_model=release_model,
                 initial_history=initial_history,
+                dvfs=dvfs,
             )
         )
     finally:
@@ -1613,6 +1640,7 @@ def utilization_sweep(
                     power_model=power_model,
                     release_model=release_model,
                     initial_history=initial_history,
+                    dvfs=dvfs,
                 )
                 log.emit(
                     VALIDATE,

@@ -132,6 +132,7 @@ def audit_scheme(
     power_model: Optional[PowerModel] = None,
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> AuditReport:
     """Run one scheme in every requested mode and audit each run.
 
@@ -152,6 +153,11 @@ def audit_scheme(
             that the fallback matches the trace reference exactly.
         initial_history: (m,k)-history boundary condition shared by
             every mode's run (and by the FD replay of the trace audit).
+        dvfs: deadline-safe frequency scaling
+            (:class:`~repro.energy.dvfs.DVFSConfig` or its dict form)
+            shared by every mode's run.  The trace audit then also
+            enforces per-segment frequency conformance, and the energy
+            audit re-derives the speed-aware charge in every mode.
 
     Returns:
         An :class:`AuditReport` with one :class:`ModeAudit` per
@@ -173,6 +179,7 @@ def audit_scheme(
         collect_trace=True,
         release_model=release_model,
         initial_history=initial_history,
+        dvfs=dvfs,
     )
     reference_ledger = result_ledger(reference.result)
     audits = []
@@ -196,6 +203,7 @@ def audit_scheme(
             fold=(mode == "fold"),
             release_model=release_model,
             initial_history=initial_history,
+            dvfs=dvfs,
         )
         issues = compare_ledgers(
             reference_ledger, result_ledger(outcome.result), label=mode

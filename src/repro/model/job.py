@@ -81,6 +81,11 @@ class Job:
             (flexibility degree, task_index, job_index) for optionals).
             Kept on the copy itself so requeueing after preemption never
             needs a side table.
+        speed: execution frequency of this copy (DVFS).  The int 1 for
+            full speed (the default; every non-DVFS run), or an exact
+            Fraction in (0, 1) for a slowed main copy -- its ``wcet``
+            is then already the *stretched* tick budget, so the engine's
+            time arithmetic needs no per-tick scaling.
     """
 
     __slots__ = (
@@ -100,6 +105,7 @@ class Job:
         "started_at",
         "_name",
         "queue_key",
+        "speed",
     )
 
     def __init__(
@@ -113,6 +119,7 @@ class Job:
         processor: int,
         enqueue_time: Optional[int] = None,
         name: str = "",
+        speed: "int | object" = 1,
     ) -> None:
         if wcet <= 0:
             raise ModelError(f"job wcet must be positive ticks, got {wcet}")
@@ -137,6 +144,7 @@ class Job:
         self.started_at: Optional[int] = None
         self._name = name
         self.queue_key: "tuple[int, ...]" = (task_index, job_index)
+        self.speed = speed
 
     @property
     def name(self) -> str:

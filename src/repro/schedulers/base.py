@@ -27,6 +27,7 @@ def run_policy(
     release_timeline=None,
     release_model=None,
     initial_history: str = "met",
+    speed_plan=None,
 ) -> SimulationResult:
     """Simulate one policy over one task set under a fault scenario.
 
@@ -54,6 +55,9 @@ def run_policy(
             periodic releases.
         initial_history: (m,k)-history boundary condition, one of
             :data:`repro.model.history.INITIAL_HISTORY_MODES`.
+        speed_plan: DVFS :class:`~repro.energy.dvfs.SpeedPlan`; main
+            copies then dispatch at the plan's per-task speeds with
+            stretched budgets (None runs at full speed).
     """
     base = timebase or taskset.timebase()
     fault_scenario = scenario or FaultScenario.none()
@@ -74,5 +78,6 @@ def run_policy(
         collect_trace=collect_trace,
         fold=fold,
         release_timeline=release_timeline,
+        speed_plan=speed_plan,
     )
     return engine.run()

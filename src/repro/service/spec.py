@@ -26,6 +26,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
+from ..energy.dvfs import DVFSConfig, resolve_dvfs
 from ..errors import ConfigurationError
 from ..harness.protocol import DEFAULT_BINS, ExperimentProtocol
 from ..harness.runner import PAPER_SCHEMES, SCHEME_FACTORIES
@@ -65,13 +66,16 @@ class SweepSpec:
     validate: int = 0
     release_model: Optional[ReleaseModel] = None
     initial_history: str = "met"
+    dvfs: Optional[DVFSConfig] = None
 
     def __post_init__(self) -> None:
         # Normalizes periodic models to None so an explicit periodic
-        # submission digests identically to the historical default.
+        # submission digests identically to the historical default; the
+        # same rule maps a no-op DVFS config (critical speed 1) to None.
         object.__setattr__(
             self, "release_model", resolve_release_model(self.release_model)
         )
+        object.__setattr__(self, "dvfs", resolve_dvfs(self.dvfs))
         if self.initial_history not in INITIAL_HISTORY_MODES:
             raise ConfigurationError(
                 f"initial_history must be one of {INITIAL_HISTORY_MODES}, "
@@ -163,6 +167,10 @@ class SweepSpec:
                 kwargs["release_model"] = payload["release_model"]
             if "initial_history" in payload:
                 kwargs["initial_history"] = str(payload["initial_history"])
+            if "dvfs" in payload:
+                # A {"alpha": ...} document or null; resolve_dvfs in
+                # __post_init__ validates it.
+                kwargs["dvfs"] = payload["dvfs"]
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed sweep spec: {exc}") from exc
         return cls(**kwargs)
@@ -187,6 +195,8 @@ class SweepSpec:
             payload["release_model"] = self.release_model.as_dict()
         if self.initial_history != "met":
             payload["initial_history"] = self.initial_history
+        if self.dvfs is not None:
+            payload["dvfs"] = self.dvfs.as_dict()
         return payload
 
     def journal_fingerprint(self) -> Dict[str, Any]:
@@ -203,6 +213,7 @@ class SweepSpec:
             None,  # power model: the paper default
             release_model=self.release_model,
             initial_history=self.initial_history,
+            dvfs=self.dvfs,
         )
 
     def identity(self) -> Dict[str, Any]:
@@ -260,4 +271,5 @@ class SweepSpec:
             generation_store=generation_store,
             release_model=self.release_model,
             initial_history=self.initial_history,
+            dvfs=self.dvfs,
         )

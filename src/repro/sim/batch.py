@@ -165,6 +165,7 @@ def build_batch_item(
     power_model=None,
     release_model=None,
     initial_history: str = "met",
+    dvfs=None,
 ) -> Optional[BatchItem]:
     """Resolve one sweep job into a :class:`BatchItem`, or None.
 
@@ -174,11 +175,15 @@ def build_batch_item(
     identical faults).  Returns None whenever the job must run on the
     scalar engine: transient faults possible, a non-periodic release
     model (the kernel's lockstep release tables assume the periodic
-    recurrence), no batch profile, or a window too deep to pack.
+    recurrence), a DVFS config applying to this scheme (the kernel's
+    lockstep arrays know nothing of per-task stretched budgets), no
+    batch profile, or a window too deep to pack.
     """
     if _np is None:
         return None
     if release_model is not None and not release_model.is_periodic():
+        return None
+    if dvfs is not None and dvfs.applies_to(scheme):
         return None
     from ..analysis.cache import analysis_cache
     from ..analysis.hyperperiod import analysis_horizon

@@ -296,6 +296,11 @@ class SimulationResult:
     busy_by_processor: Optional[Tuple[int, ...]] = None
     cycles_folded: int = 0
     fold_cycle_ticks: int = 0
+    #: The DVFS :class:`~repro.energy.dvfs.SpeedPlan` the run executed
+    #: under, or None (every non-DVFS run).  Carried on the result so
+    #: energy accounting and the conformance auditor can re-derive the
+    #: speed-aware decomposition without re-running the planner.
+    speed_plan: Optional[object] = None
     _mk_cache: Optional[List[bool]] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -376,6 +381,7 @@ class StandbySparingEngine:
         collect_trace: bool = True,
         fold: bool = False,
         release_timeline: Optional[ReleaseTimeline] = None,
+        speed_plan: Optional[object] = None,
     ) -> None:
         """Configure a run.
 
@@ -405,6 +411,13 @@ class StandbySparingEngine:
                 whose :meth:`SchedulingPolicy.fold_state` cooperates.
             release_timeline: precomputed release sequence to reuse
                 across runs; must match (task set periods, horizon).
+            speed_plan: DVFS :class:`~repro.energy.dvfs.SpeedPlan`.
+                Main copies released before a permanent fault execute
+                their stretched WCETs at the plan's per-task speeds;
+                backups, optionals, and post-fault releases run at full
+                speed.  Incompatible with ``execution_time_fn`` (an ACET
+                draw below the stretched budget would confound the two
+                time scales).
         """
         if horizon_ticks <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon_ticks}")
@@ -412,6 +425,12 @@ class StandbySparingEngine:
             raise ConfigurationError(
                 "cycle folding requires stats-only mode (collect_trace=False): "
                 "a folded run cannot materialize the skipped cycles' trace"
+            )
+        if speed_plan is not None and execution_time_fn is not None:
+            raise ConfigurationError(
+                "a DVFS speed plan cannot be combined with an "
+                "execution-time model: stretched WCETs and ACET draws "
+                "define conflicting tick budgets"
             )
         self.taskset = taskset
         self.policy = policy
@@ -430,6 +449,7 @@ class StandbySparingEngine:
         self.collect_trace = collect_trace
         self.fold = fold
         self.release_timeline = release_timeline
+        self.speed_plan = speed_plan
 
     # -- public API ---------------------------------------------------------
 
@@ -463,6 +483,26 @@ class StandbySparingEngine:
         periods = [base.to_ticks(task.period) for task in taskset]
         deadlines = [base.to_ticks(task.deadline) for task in taskset]
         wcets = [base.to_ticks(task.wcet) for task in taskset]
+
+        speed_plan = self.speed_plan
+        if speed_plan is not None:
+            dvfs_speeds = speed_plan.speeds
+            dvfs_wcets = speed_plan.stretched_wcets
+            if len(dvfs_speeds) != task_count or len(dvfs_wcets) != task_count:
+                raise ConfigurationError(
+                    f"speed plan covers {len(dvfs_wcets)} tasks, "
+                    f"task set has {task_count}"
+                )
+            for index, ticks in enumerate(dvfs_wcets):
+                if ticks < wcets[index]:
+                    raise ConfigurationError(
+                        f"speed plan shrinks task {index}'s WCET "
+                        f"({ticks} < {wcets[index]} ticks); stretched "
+                        f"budgets must cover the full-speed WCET"
+                    )
+        else:
+            dvfs_speeds = None
+            dvfs_wcets = None
 
         timeline = self.release_timeline
         if timeline is None:
@@ -499,6 +539,9 @@ class StandbySparingEngine:
         # so folding advances the same list.
         busy_acc = stats.busy if stats is not None else [0, 0]
         gap_counts = stats.gap_counts if stats is not None else None
+        # Per-speed busy ledger (stats mode, DVFS runs only): trace runs
+        # carry the speed on each segment instead.
+        speed_busy = stats.speed_busy if stats is not None else None
         gap_cursor = [0, 0]
         window_end = [horizon, horizon]
 
@@ -663,6 +706,7 @@ class StandbySparingEngine:
                             wcet=job.wcet,
                             processor=spec.processor,
                             enqueue_time=max(spec.enqueue_tick, now),
+                            speed=job.speed,
                         )
                         entry.copies.append(recovery)
                         if spec.role is JobRole.OPTIONAL:
@@ -755,15 +799,30 @@ class StandbySparingEngine:
                         f"policy {policy.name} planned a copy onto dead "
                         f"processor {spec.processor}"
                     )
+                # DVFS: main copies released while both processors live
+                # run their stretched budget at the plan's speed; backups,
+                # optionals, and post-fault releases fall back to max
+                # performance (the survivor has no slack to spend).
+                if (
+                    dvfs_wcets is not None
+                    and spec.role is JobRole.MAIN
+                    and ctx.dead_processor is None
+                ):
+                    copy_wcet = dvfs_wcets[task_index]
+                    copy_speed = dvfs_speeds[task_index]
+                else:
+                    copy_wcet = actual_wcet
+                    copy_speed = 1
                 job = Job(
                     task_index=task_index,
                     job_index=job_index,
                     role=spec.role,
                     release=release,
                     deadline=deadline,
-                    wcet=actual_wcet,
+                    wcet=copy_wcet,
                     processor=spec.processor,
                     enqueue_time=max(spec.enqueue_tick, release),
+                    speed=copy_speed,
                 )
                 entry.copies.append(job)
                 if spec.role is JobRole.MAIN:
@@ -1061,9 +1120,13 @@ class StandbySparingEngine:
                             job.started_at = now
                         add_segment(processor, now, end, job)
                     if now < horizon:
-                        busy_acc[processor] += (
-                            end if end <= horizon else horizon
-                        ) - now
+                        clipped = (end if end <= horizon else horizon) - now
+                        busy_acc[processor] += clipped
+                        if speed_busy is not None and job.speed != 1:
+                            counts = speed_busy[processor]
+                            counts[job.speed] = (
+                                counts.get(job.speed, 0) + clipped
+                            )
                     if not collect:
                         gap_start = gap_cursor[processor]
                         if now > gap_start:
@@ -1115,4 +1178,5 @@ class StandbySparingEngine:
             busy_by_processor=tuple(busy_acc),
             cycles_folded=cycles_folded,
             fold_cycle_ticks=fold_cycle,
+            speed_plan=speed_plan,
         )

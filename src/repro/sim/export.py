@@ -34,6 +34,8 @@ def _require_trace(result: SimulationResult) -> None:
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Flatten a simulation result into JSON-serializable primitives."""
     _require_trace(result)
+    # The speed key appears only on DVFS-scaled segments, so pre-DVFS
+    # documents (and their digests) are byte-identical.
     segments: List[Dict[str, Any]] = [
         {
             "processor": s.processor,
@@ -42,6 +44,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "task": s.task_index,
             "job": s.job_index,
             "role": s.role,
+            **({} if s.speed == 1 else {"speed": str(s.speed)}),
         }
         for s in sorted(result.trace.segments, key=lambda s: (s.start, s.processor))
     ]
@@ -103,20 +106,27 @@ def segments_to_csv(result: SimulationResult) -> str:
     _require_trace(result)
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(["processor", "start", "end", "task", "job", "role"])
+    # The speed column exists only on DVFS runs (a speed plan on the
+    # result), so pre-DVFS CSV output is byte-identical.
+    with_speed = result.speed_plan is not None
+    header = ["processor", "start", "end", "task", "job", "role"]
+    if with_speed:
+        header.append("speed")
+    writer.writerow(header)
     for segment in sorted(
         result.trace.segments, key=lambda s: (s.start, s.processor)
     ):
-        writer.writerow(
-            [
-                segment.processor,
-                _units(result, segment.start),
-                _units(result, segment.end),
-                segment.task_index,
-                segment.job_index,
-                segment.role,
-            ]
-        )
+        row = [
+            segment.processor,
+            _units(result, segment.start),
+            _units(result, segment.end),
+            segment.task_index,
+            segment.job_index,
+            segment.role,
+        ]
+        if with_speed:
+            row.append(str(segment.speed))
+        writer.writerow(row)
     return buffer.getvalue()
 
 

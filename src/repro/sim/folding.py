@@ -40,6 +40,10 @@ class RunStats:
         gap_counts: per-processor multiset of *closed* idle-gap lengths,
             as a length -> count dict (the energy model only needs each
             gap's length, not its position).
+        speed_busy: per-processor speed -> execution-tick dict for
+            DVFS-scaled execution (speed != 1 only; full-speed ticks are
+            ``busy`` minus the scaled sum).  Empty on every non-DVFS
+            run, so the ledger stays byte-identical to the pre-DVFS one.
         released / effective / missed / mandatory / optional_executed /
             skipped: logical-job counts matching
             :class:`~repro.qos.metrics.QoSMetrics`.
@@ -49,6 +53,7 @@ class RunStats:
     __slots__ = (
         "busy",
         "gap_counts",
+        "speed_busy",
         "released",
         "effective",
         "missed",
@@ -61,6 +66,7 @@ class RunStats:
     def __init__(self, task_count: int) -> None:
         self.busy: List[int] = [0, 0]
         self.gap_counts: List[Dict[int, int]] = [{}, {}]
+        self.speed_busy: List[dict] = [{}, {}]
         self.released = 0
         self.effective = 0
         self.missed = 0
@@ -74,6 +80,7 @@ class RunStats:
         dup = RunStats.__new__(RunStats)
         dup.busy = list(self.busy)
         dup.gap_counts = [dict(counts) for counts in self.gap_counts]
+        dup.speed_busy = [dict(counts) for counts in self.speed_busy]
         dup.released = self.released
         dup.effective = self.effective
         dup.missed = self.missed
@@ -103,6 +110,11 @@ class RunStats:
                 delta = count - theirs.get(length, 0)
                 if delta:
                     mine[length] = count + delta * r
+        for mine, theirs in zip(self.speed_busy, base.speed_busy):
+            for speed, ticks in mine.items():
+                delta = ticks - theirs.get(speed, 0)
+                if delta:
+                    mine[speed] = ticks + delta * r
         self.released += (self.released - base.released) * r
         self.effective += (self.effective - base.effective) * r
         self.missed += (self.missed - base.missed) * r

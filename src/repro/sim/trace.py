@@ -24,6 +24,10 @@ class Segment:
     task_index: int
     job_index: int
     role: str  # JobRole.value, kept as str for cheap serialization
+    #: Execution frequency (DVFS): the int 1 at full speed, an exact
+    #: Fraction in (0, 1) for a slowed main copy.  Defaulted so every
+    #: pre-DVFS construction site (and serialization) is unchanged.
+    speed: "int | object" = 1
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -86,10 +90,11 @@ class ExecutionTrace:
         self.events: List[TraceEvent] = []
         self.records: Dict[Tuple[int, int], LogicalJobRecord] = {}
         # Each processor's still-growing tail interval, the only
-        # coalescing candidate: [start, end, task_index, job_index, role]
-        # (role as the enum member -- its ``.value`` is resolved only when
-        # the interval is sealed into a Segment).  Extending a run is then
-        # one integer store instead of a frozen-dataclass construction.
+        # coalescing candidate: [start, end, task_index, job_index, role,
+        # speed] (role as the enum member -- its ``.value`` is resolved
+        # only when the interval is sealed into a Segment).  Extending a
+        # run is then one integer store instead of a frozen-dataclass
+        # construction.
         self._open: List[Optional[list]] = [None] * processor_count
 
     # -- recording ---------------------------------------------------------
@@ -105,11 +110,14 @@ class ExecutionTrace:
                 and tail[2] == job.task_index
                 and tail[3] == job.job_index
                 and tail[4] is job.role
+                and tail[5] == job.speed
             ):
                 tail[1] = end
                 return
             self._seal(processor, tail)
-        self._open[processor] = [start, end, job.task_index, job.job_index, job.role]
+        self._open[processor] = [
+            start, end, job.task_index, job.job_index, job.role, job.speed,
+        ]
 
     def _seal(self, processor: int, tail: list) -> None:
         self._segments.append(
@@ -120,6 +128,7 @@ class ExecutionTrace:
                 task_index=tail[2],
                 job_index=tail[3],
                 role=tail[4].value,
+                speed=tail[5],
             )
         )
 

@@ -13,7 +13,12 @@ Two layers:
   policy: no overlapping segments, no execution before release or past
   the deadline, bounded total execution, effective jobs really executed,
   skipped jobs never ran, no execution after an effective decision
-  (backup cancellation), contiguous job records.
+  (backup cancellation), contiguous job records.  On a DVFS run (the
+  result carries a :class:`~repro.energy.dvfs.SpeedPlan`) this layer
+  also enforces per-segment frequency conformance: pre-fault main
+  copies run at exactly the plan's speed, every other copy at full
+  speed, and no mandatory segment may execute below the
+  feasibility-checked speed (``dvfs-underspeed``).
 
 * :func:`audit_result` -- adds **scheme-level** invariants declared by
   the policy through a :class:`ConformanceSpec` (see
@@ -32,7 +37,9 @@ Separate entry points cover the remaining surfaces:
 * :func:`audit_energy` -- DPD legality: an
   :class:`~repro.energy.accounting.EnergyReport` must decompose each
   processor's window exactly as the
-  :func:`~repro.energy.dpd.shutdown_decision` rule dictates.
+  :func:`~repro.energy.dpd.shutdown_decision` rule dictates.  On a DVFS
+  run it additionally re-derives the per-speed busy decomposition from
+  the run itself and recomputes the active energy from it, bit-exactly.
 * :func:`result_ledger` / :func:`compare_ledgers` -- a canonical,
   mode-independent summary of a run, used by the cross-mode differential
   check (trace vs stats-only vs folded runs of the same descriptor must
@@ -46,6 +53,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
+from ..energy.accounting import active_energy_of
 from ..energy.dpd import shutdown_decision
 from ..model.history import (
     MKHistory,
@@ -141,6 +149,7 @@ def validate_result(
     issues: List[ValidationIssue] = []
     base = result.timebase
     taskset = result.taskset
+    plan = result.speed_plan
     wcets = [base.to_ticks(task.wcet) for task in taskset]
     periods = [base.to_ticks(task.period) for task in taskset]
     deadlines = [base.to_ticks(task.deadline) for task in taskset]
@@ -203,12 +212,76 @@ def validate_result(
                     f"deadline {deadline} (until {last_end[key]})",
                 )
             )
-        if ticks > max_copies * wcet:
+        # A DVFS plan stretches the main copy's budget; every other copy
+        # of the job runs at full speed, so the legal total swaps exactly
+        # one WCET for the stretched one.
+        cap = max_copies * wcet
+        if plan is not None:
+            cap = (max_copies - 1) * wcet + plan.stretched_wcets[task_index]
+        if ticks > cap:
             issues.append(
                 ValidationIssue(
                     "over-execution",
                     f"J{task_index + 1},{job_index} executed {ticks} ticks "
-                    f"> {max_copies} x WCET {wcet}",
+                    f"> the {max_copies}-copy budget of {cap}",
+                )
+            )
+
+    # -- per-segment DVFS frequency conformance ---------------------------
+    # Without a plan no segment may carry a scaled speed; with one, the
+    # speed of every segment is fully determined: a main copy released
+    # while both processors were alive runs at exactly the plan's speed
+    # for its task (max-performance fallback reverts post-fault releases
+    # to full speed), and every other copy runs at 1.  Independently,
+    # no mandatory segment may ever run below the feasibility-checked
+    # speed the plan's R-pattern critical-scaling test admitted.
+    fault = result.permanent_fault
+    fault_tick = fault[1] if fault is not None else None
+    for segment in result.trace.segments:
+        label = (
+            f"J{segment.task_index + 1},{segment.job_index}/{segment.role}"
+        )
+        if plan is None:
+            if segment.speed != 1:
+                issues.append(
+                    ValidationIssue(
+                        "dvfs-speed",
+                        f"{label} ran at speed {segment.speed} but the run "
+                        f"has no speed plan",
+                    )
+                )
+            continue
+        record = result.trace.records.get(
+            (segment.task_index, segment.job_index)
+        )
+        release = (
+            record.release
+            if record is not None
+            else (segment.job_index - 1) * periods[segment.task_index]
+        )
+        prefault = fault_tick is None or release < fault_tick
+        want = plan.speeds[segment.task_index] if (
+            segment.role == _MAIN and prefault
+        ) else 1
+        if segment.speed != want:
+            issues.append(
+                ValidationIssue(
+                    "dvfs-speed",
+                    f"{label} ran at speed {segment.speed}, the plan "
+                    f"dictates {want}",
+                )
+            )
+        if (
+            segment.role != _OPTIONAL
+            and segment.speed != 1
+            and segment.speed < plan.checked_speed
+        ):
+            issues.append(
+                ValidationIssue(
+                    "dvfs-underspeed",
+                    f"mandatory segment of {label} ran at speed "
+                    f"{segment.speed}, below the feasibility-checked "
+                    f"speed {plan.checked_speed}",
                 )
             )
 
@@ -627,6 +700,48 @@ def _expected_decomposition(
     return expected
 
 
+def _expected_speed_units(
+    result: SimulationResult,
+) -> Dict[int, Tuple[Tuple[object, Fraction], ...]]:
+    """Per-processor sorted (speed, units) of DVFS-scaled execution.
+
+    Re-derived from the run itself -- windowed segment overlaps on a
+    trace run, the engine's :attr:`RunStats.speed_busy` ledger on a
+    stats-only run -- independently of the accounting code under audit.
+    """
+    base = result.timebase
+    expected: Dict[int, Tuple[Tuple[object, Fraction], ...]] = {}
+    if result.trace is not None:
+        for processor in range(result.trace.processor_count):
+            window_end = result.horizon_ticks
+            fault = result.permanent_fault
+            if fault is not None and fault[0] == processor:
+                window_end = min(window_end, fault[1])
+            by_speed: Dict[object, int] = {}
+            for segment in result.trace.segments:
+                if segment.processor != processor or segment.speed == 1:
+                    continue
+                overlap = segment.overlap_with(0, window_end)
+                if overlap > 0:
+                    by_speed[segment.speed] = (
+                        by_speed.get(segment.speed, 0) + overlap
+                    )
+            expected[processor] = tuple(
+                (speed, base.from_ticks(by_speed[speed]))
+                for speed in sorted(by_speed)
+            )
+        return expected
+    stats = result.stats
+    if stats is None:  # pragma: no cover - engine fills one of the two
+        raise ValueError("result has neither trace nor stats")
+    for processor, by_speed in enumerate(stats.speed_busy):
+        expected[processor] = tuple(
+            (speed, base.from_ticks(by_speed[speed]))
+            for speed in sorted(by_speed)
+        )
+    return expected
+
+
 def audit_energy(result: SimulationResult, report) -> List[ValidationIssue]:
     """DPD legality: the energy report must match the shutdown rule.
 
@@ -634,9 +749,38 @@ def audit_energy(result: SimulationResult, report) -> List[ValidationIssue]:
     :func:`~repro.energy.dpd.shutdown_decision` and vice versa, so the
     per-processor (busy, idle, sleep, transition) decomposition recomputed
     from the run must equal the report's exactly.
+
+    On a DVFS run the audit goes further: the report must carry the
+    plan's DVS model, its per-speed busy decomposition must equal the
+    one re-derived from the run, and the active energy must equal the
+    speed-aware charge over that re-derived decomposition bit-for-bit
+    (the charging formula fixes its summation order so an independent
+    recomputation reproduces the float exactly).
     """
     issues: List[ValidationIssue] = []
     expected = _expected_decomposition(result, report.model)
+    plan = result.speed_plan
+    dvs = getattr(report, "dvs", None)
+    if (plan is None) != (dvs is None):
+        issues.append(
+            ValidationIssue(
+                "dvfs-report",
+                f"run {'has' if plan is not None else 'has no'} speed plan "
+                f"but the report {'carries no' if dvs is None else 'carries a'}"
+                f" DVS model",
+            )
+        )
+    elif plan is not None and dvs != plan.model:
+        issues.append(
+            ValidationIssue(
+                "dvfs-report",
+                f"report charges under {dvs} but the run's plan uses "
+                f"{plan.model}",
+            )
+        )
+    speed_expected = (
+        _expected_speed_units(result) if plan is not None else {}
+    )
     for processor in sorted(
         set(expected) | set(report.per_processor)
     ):
@@ -659,6 +803,30 @@ def audit_energy(result: SimulationResult, report) -> List[ValidationIssue]:
                     f"processor {processor}: reported "
                     f"(busy, idle, sleep, transitions) = {got_tuple} but "
                     f"the DPD rule over the run's gaps gives {want}",
+                )
+            )
+        if want is None or got is None:
+            continue
+        want_speed = speed_expected.get(processor, ())
+        if tuple(getattr(got, "speed_units", ())) != want_speed:
+            issues.append(
+                ValidationIssue(
+                    "dvfs-energy",
+                    f"processor {processor}: reported speed decomposition "
+                    f"{got.speed_units} but the run gives {want_speed}",
+                )
+            )
+            continue
+        want_active = active_energy_of(
+            want[0], want_speed, report.model, dvs
+        )
+        if got.active_energy != want_active:
+            issues.append(
+                ValidationIssue(
+                    "dvfs-energy",
+                    f"processor {processor}: reported active energy "
+                    f"{got.active_energy!r}, the speed-aware charge over "
+                    f"the run's decomposition is {want_active!r}",
                 )
             )
     return issues
@@ -690,6 +858,9 @@ def result_ledger(result: SimulationResult) -> Dict[str, object]:
             "gaps": tuple(
                 tuple(sorted(counts.items())) for counts in stats.gap_counts
             ),
+            "speed_busy": tuple(
+                tuple(sorted(counts.items())) for counts in stats.speed_busy
+            ),
             "transient_faults": result.transient_fault_count,
         }
     trace = result.trace
@@ -712,6 +883,7 @@ def result_ledger(result: SimulationResult) -> Dict[str, object]:
     fault = result.permanent_fault
     busy: List[int] = []
     gaps: List[Tuple[Tuple[int, int], ...]] = []
+    speed_busy: List[Tuple[Tuple[object, int], ...]] = []
     for processor in range(trace.processor_count):
         window_end = horizon
         if fault is not None and fault[0] == processor:
@@ -722,6 +894,16 @@ def result_ledger(result: SimulationResult) -> Dict[str, object]:
             length = gap_end - gap_start
             counts[length] = counts.get(length, 0) + 1
         gaps.append(tuple(sorted(counts.items())))
+        by_speed: Dict[object, int] = {}
+        for segment in trace.segments:
+            if segment.processor != processor or segment.speed == 1:
+                continue
+            overlap = segment.overlap_with(0, window_end)
+            if overlap > 0:
+                by_speed[segment.speed] = (
+                    by_speed.get(segment.speed, 0) + overlap
+                )
+        speed_busy.append(tuple(sorted(by_speed.items())))
     return {
         "released": len(trace.records),
         "effective": effective,
@@ -732,6 +914,7 @@ def result_ledger(result: SimulationResult) -> Dict[str, object]:
         "violations": tuple(violations),
         "busy": tuple(busy),
         "gaps": tuple(gaps),
+        "speed_busy": tuple(speed_busy),
         "transient_faults": result.transient_fault_count,
     }
 

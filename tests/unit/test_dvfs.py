@@ -1,0 +1,207 @@
+"""Unit tests for the deadline-safe DVFS layer (config, plan, engine)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.energy.accounting import energy_of_result
+from repro.energy.dvfs import (
+    DVFS_SCHEMES,
+    DVFSConfig,
+    SpeedPlan,
+    resolve_dvfs,
+    speed_plan_for,
+)
+from repro.energy.dvs import DVSModel
+from repro.energy.dvs_scheduling import clamp_to_critical_speed
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.schedulers import MKSSStatic
+from repro.schedulers.base import run_policy
+
+
+def slack_taskset() -> TaskSet:
+    """Lightly loaded: plenty of slack for a uniform slowdown."""
+    return TaskSet([Task(20, 20, 2, 1, 4), Task(30, 30, 3, 1, 3)])
+
+
+class TestDVFSConfig:
+    def test_defaults_mirror_the_dvs_model(self):
+        config = DVFSConfig()
+        model = DVSModel()
+        assert config.alpha == model.alpha
+        assert config.static_power == model.static_power
+        assert config.min_speed == model.min_speed
+        assert config.schemes == DVFS_SCHEMES
+
+    def test_invalid_model_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVFSConfig(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            DVFSConfig(min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            DVFSConfig(precision_denominator=0)
+        with pytest.raises(ConfigurationError):
+            DVFSConfig(schemes=())
+
+    def test_all_default_config_serializes_empty(self):
+        """Key presence signals 'DVFS on'; defaults carry no payload."""
+        assert DVFSConfig().as_dict() == {}
+
+    def test_dict_roundtrip(self):
+        config = DVFSConfig(
+            alpha=2.5,
+            static_power=0.1,
+            min_speed=0.2,
+            precision_denominator=128,
+            schemes=("MKSS_ST",),
+        )
+        assert DVFSConfig.from_dict(config.as_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            DVFSConfig.from_dict({"alhpa": 3.0})
+        with pytest.raises(ConfigurationError):
+            DVFSConfig.from_dict("not a dict")
+
+    def test_applies_to(self):
+        config = DVFSConfig(schemes=("MKSS_ST",))
+        assert config.applies_to("MKSS_ST")
+        assert not config.applies_to("MKSS_Selective")
+
+    def test_cache_key_distinguishes_configs(self):
+        assert DVFSConfig().cache_key() != DVFSConfig(alpha=2.5).cache_key()
+
+
+class TestResolveDVFS:
+    def test_none_passes_through(self):
+        assert resolve_dvfs(None) is None
+
+    def test_config_passes_through(self):
+        config = DVFSConfig(static_power=0.1)
+        assert resolve_dvfs(config) == config
+
+    def test_dict_form_resolves(self):
+        assert resolve_dvfs({"static_power": 0.1}) == DVFSConfig(
+            static_power=0.1
+        )
+
+    def test_noop_config_normalizes_to_none(self):
+        """Leakage >= alpha-1 pins the critical speed at 1: any slowdown
+        loses, so the knob resolves to the historical no-DVFS default."""
+        assert resolve_dvfs(DVFSConfig(static_power=2.0)) is None
+        assert resolve_dvfs({"static_power": 2.0}) is None
+
+    def test_other_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_dvfs(0.5)
+
+
+class TestSpeedPlanFor:
+    def test_plan_properties(self):
+        taskset = slack_taskset()
+        base = taskset.timebase()
+        config = DVFSConfig()
+        plan = speed_plan_for(taskset, base, config)
+        assert plan is not None
+        model = config.model()
+        critical_bound = Fraction(1) / clamp_to_critical_speed(
+            Fraction(10**6), model
+        )
+        for index, task in enumerate(taskset):
+            wcet = base.to_ticks(task.wcet)
+            stretched = plan.stretched_wcets[index]
+            assert stretched >= wcet
+            speed = plan.speeds[index]
+            if stretched == wcet:
+                assert speed == 1 and isinstance(speed, int)
+            else:
+                # Exact effective speed of the floor-quantized stretch,
+                # never below the feasibility-checked speed, which in
+                # turn never dips below the safe-side critical bound or
+                # the model's floor.
+                assert speed == Fraction(wcet, stretched)
+                assert speed >= plan.checked_speed
+        assert plan.checked_speed >= critical_bound
+        assert float(plan.checked_speed) >= model.min_speed
+        assert plan.model == model
+
+    def test_loaded_set_has_no_plan(self, fig5):
+        assert speed_plan_for(fig5, fig5.timebase(), DVFSConfig(), 40) is None
+
+
+class TestEngineSpeedScaling:
+    def run_with_plan(self, taskset, plan, horizon_units=60):
+        base = taskset.timebase()
+        return run_policy(
+            taskset,
+            MKSSStatic(),
+            horizon_units * base.ticks_per_unit,
+            base,
+            collect_trace=True,
+            speed_plan=plan,
+        )
+
+    def test_mains_stretched_and_energy_hand_computed(self):
+        taskset = slack_taskset()
+        base = taskset.timebase()
+        config = DVFSConfig()
+        plan = speed_plan_for(taskset, base, config)
+        assert plan is not None
+        result = self.run_with_plan(taskset, plan)
+        mains = [
+            s for s in result.trace.segments if s.role == "main"
+        ]
+        assert mains and all(
+            s.speed == plan.speeds[s.task_index] for s in mains
+        )
+        # Hand-computed active energy: every executed unit pays
+        # speed**alpha + static under the plan's DVS model.
+        dvs = plan.model
+        expected = 0.0
+        for processor in (0, 1):
+            units = {}
+            for s in result.trace.segments:
+                if s.processor != processor:
+                    continue
+                length = Fraction(s.end - s.start, base.ticks_per_unit)
+                units[s.speed] = units.get(s.speed, Fraction(0)) + length
+            full = units.pop(1, Fraction(0))
+            expected += float(full) * (1.0 + dvs.static_power)
+            for speed in sorted(units):
+                expected += float(units[speed]) * (
+                    float(speed) ** dvs.alpha + dvs.static_power
+                )
+        report = energy_of_result(result, PowerModel.paper_default())
+        assert report.dvs == dvs
+        assert report.active_energy == pytest.approx(expected)
+
+    def test_unstretched_plan_speeds_stay_int_one(self):
+        """A plan never forces Fractions onto unscaled tasks: speed-1
+        entries are the int 1, so downstream values stay identical to a
+        run without the plan."""
+        taskset = slack_taskset()
+        base = taskset.timebase()
+        plan = speed_plan_for(taskset, base, DVFSConfig())
+        assert plan is not None
+        for speed in plan.speeds:
+            assert isinstance(speed, int) or speed != 1
+
+    def test_engine_rejects_undersized_plan(self):
+        taskset = slack_taskset()
+        base = taskset.timebase()
+        bad = SpeedPlan(
+            speeds=(Fraction(1, 2),),
+            stretched_wcets=(4,),
+            checked_speed=Fraction(1, 2),
+            model=DVSModel(),
+        )
+        with pytest.raises(ConfigurationError):
+            run_policy(
+                taskset, MKSSStatic(), 60 * base.ticks_per_unit, base,
+                speed_plan=bad,
+            )

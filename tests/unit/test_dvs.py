@@ -28,6 +28,22 @@ class TestDVSModel:
         model = DVSModel(alpha=3.0, static_power=1e-6, min_speed=0.4)
         assert model.critical_speed() == 0.4
 
+    def test_critical_speed_zero_static_is_min_speed(self):
+        """No leakage: slower is always better, down to the floor.
+
+        Pinned exactly -- 0.0 ** (1/alpha) must not leak through as a
+        critical speed below min_speed.
+        """
+        model = DVSModel(alpha=3.0, static_power=0.0, min_speed=0.25)
+        assert model.critical_speed() == 0.25
+
+    def test_zero_work_costs_exactly_zero(self):
+        """energy_for(0, s) is exactly 0.0 at any speed, leakage or not."""
+        for static in (0.0, 0.05, 1.5):
+            model = DVSModel(alpha=3.0, static_power=static)
+            for speed in (model.min_speed, 0.5, 1.0):
+                assert model.energy_for(0, speed) == 0.0
+
     def test_running_below_critical_wastes_energy(self):
         """The paper's argument for DPD over DVS: leakage dominates."""
         model = DVSModel(alpha=3.0, static_power=0.3, min_speed=0.05)

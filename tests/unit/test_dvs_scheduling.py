@@ -40,6 +40,29 @@ class TestSlowdown:
         small = Fraction(3, 2)
         assert clamp_to_critical_speed(small, model) == small
 
+    def test_clamp_rationalizes_from_the_safe_side(self):
+        """Regression: the 1024ths rounding must never round *down*.
+
+        static_power=0.206 puts the critical speed at ~0.4687548, which
+        the old ``Fraction(critical).limit_denominator(1024)`` rounded
+        down to 15/32 = 0.46875 -- permitting slowdown 32/15, i.e. past
+        the energy-optimal point.  The clamp must keep the slowed speed
+        at or above the exact critical speed.
+        """
+        model = DVSModel(alpha=3.0, static_power=0.206, min_speed=0.05)
+        critical = Fraction(model.critical_speed())
+        assert Fraction(15, 32) < critical  # the case rounds badly
+        clamped = clamp_to_critical_speed(Fraction(100), model)
+        assert Fraction(1) / clamped >= critical
+        assert clamped < Fraction(32, 15)  # the buggy bound
+
+    def test_clamp_bound_never_exceeds_full_speed(self):
+        """A critical speed rounding up past 1 must clamp the slowdown
+        to exactly 1 (no speed-up), not to a bound above full speed."""
+        model = DVSModel(alpha=3.0, static_power=1.999, min_speed=0.05)
+        assert model.critical_speed() > 1023 / 1024
+        assert clamp_to_critical_speed(Fraction(100), model) == 1
+
 
 class TestDVSEnergy:
     def _trace(self, fig1, slowdown=Fraction(1)):
@@ -62,6 +85,14 @@ class TestDVSEnergy:
         result, base, horizon = self._trace(fig1)
         with pytest.raises(ConfigurationError):
             dvs_energy_of(result.trace, base, horizon, [0.0, 1.0])
+
+    def test_speed_below_min_speed_rejected(self, fig1):
+        """Regression: a speed in (0, min_speed) used to be silently
+        charged at min_speed; it must be rejected instead."""
+        result, base, horizon = self._trace(fig1)
+        model = DVSModel(alpha=3.0, static_power=0.05, min_speed=0.3)
+        with pytest.raises(ConfigurationError):
+            dvs_energy_of(result.trace, base, horizon, [0.2, 1.0], model)
 
     def test_no_leakage_slowdown_saves_energy(self, fig1):
         """Without static power, slowing down always helps (s^2 factor)."""
